@@ -1,0 +1,32 @@
+"""Figure 11: reverse CDF of heard delay.
+
+Paper: for more than 90% of heard transactions, the window between
+hearing and executing exceeds 4 seconds (plenty for speculation), with
+a long tail out to tens of seconds.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, bar_chart, write_report
+from repro.core import stats as S
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_heard_delay(benchmark, l1):
+    cdf = benchmark(S.heard_delay_reverse_cdf, l1.records,
+                    list(range(0, 49, 4)))
+    rows = [[f"{x:.0f}s", f"{fraction:.2%}"] for x, fraction in cdf]
+    report = ascii_table(
+        ["Delay exceeds", "% of heard txs"],
+        rows, title="Figure 11 — reverse CDF of heard delay")
+    report += "\n\n" + bar_chart(
+        [(f"{x:.0f}s", fraction) for x, fraction in cdf])
+    report += "\n\n(paper: >90% of heard txs exceed 4 seconds)"
+    write_report("fig11_heard_delay", report)
+
+    as_dict = dict(cdf)
+    assert as_dict[0.0] == 1.0
+    assert as_dict[4.0] > 0.5          # most txs have a real window
+    fractions = [f for _, f in cdf]
+    assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] < 0.35        # the tail does decay

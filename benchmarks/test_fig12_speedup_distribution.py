@@ -1,0 +1,30 @@
+"""Figure 12: distribution of per-transaction speedups.
+
+Paper: most heard transactions land between 2x and 20x; only 0.88% are
+not accelerated (<1x); a small tail (0.53%) exceeds 50x.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, bar_chart, write_report
+from repro.core import stats as S
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_speedup_distribution(benchmark, l1):
+    histogram = benchmark(S.speedup_histogram, l1.records, 5.0, 50.0)
+    rows = [[label, f"{fraction:.2%}"] for label, fraction in histogram]
+    report = ascii_table(
+        ["Speedup bucket", "% of heard txs"],
+        rows, title="Figure 12 — speedup distribution across heard txs")
+    report += "\n\n" + bar_chart(histogram)
+    report += ("\n\n(paper: mass between 2x and 20x; <1% unaccelerated; "
+               "small >=50x tail)")
+    write_report("fig12_speedup_distribution", report)
+
+    as_dict = dict(histogram)
+    assert sum(as_dict.values()) == pytest.approx(1.0)
+    assert as_dict["<1x"] < 0.10
+    low_mid = sum(fraction for label, fraction in histogram
+                  if label not in ("<1x",))
+    assert low_mid > 0.85

@@ -1,0 +1,29 @@
+"""Figure 13: gas used vs average speedup.
+
+Paper: speedup grows with transaction complexity (gas used) over
+effectively-predicted transactions — complex transactions benefit more.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, write_report
+from repro.core import stats as S
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_gas_vs_speedup(benchmark, l1):
+    buckets = benchmark(S.gas_vs_speedup, l1.records)
+    rows = [[f"{gas:,.0f}", f"{speedup:.2f}x", count]
+            for gas, speedup, count in buckets]
+    report = ascii_table(
+        ["Mean gas used", "Avg speedup", "Tx count"],
+        rows, title="Figure 13 — gas used vs average speedup "
+                    "(satisfied transactions)")
+    report += "\n\n(paper: rising trend, bigger txs accelerate more)"
+    write_report("fig13_gas_vs_speedup", report)
+
+    assert len(buckets) >= 3
+    # Rising shape: heaviest bucket clearly above the lightest.
+    light = buckets[0][1]
+    heavy = buckets[-1][1]
+    assert heavy > light * 1.3

@@ -1,0 +1,35 @@
+"""Figure 2 (background): block size vs throughput over time.
+
+Paper: Ethereum repeatedly raised the block gas limit, and demand
+saturated each raise — the staircase-hugging curve motivating
+execution acceleration as the path to more throughput.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, simulate_block_history, write_report
+from repro.bench.history import saturation_fraction
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_block_saturation(benchmark):
+    points = benchmark(simulate_block_history, 66)
+    rows = [[p.month, f"{p.gas_limit:,.0f}k", f"{p.gas_used:,.0f}k",
+             f"{p.gas_used / p.gas_limit:.0%}"]
+            for p in points[::6]]
+    report = ascii_table(
+        ["Month", "Gas limit", "Gas used", "Utilization"],
+        rows, title="Figure 2 — block size (gas limit) vs throughput "
+                    "(gas used), simulated 2015-2021 window")
+    fraction = saturation_fraction(points)
+    report += (f"\n\nMonths at >=90% utilization: {fraction:.0%} "
+               f"(paper: limit raises are quickly saturated)")
+    write_report("fig2_block_saturation", report)
+
+    # The staircase rises by more than an order of magnitude...
+    assert points[-1].gas_limit > 10 * points[0].gas_limit
+    # ...monotonically (limits only get voted up in the window)...
+    limits = [p.gas_limit for p in points]
+    assert all(b >= a for a, b in zip(limits, limits[1:]))
+    # ...and demand saturates most of the time.
+    assert fraction > 0.5

@@ -1,0 +1,51 @@
+"""§5.6: overhead off the critical path.
+
+Paper: pre-executing one transaction in one context and synthesizing
+its AP costs ~12.19x a plain execution (unoptimized); the whole
+off-path machinery raises CPU utilization 3.33x and memory 2.50x over
+the baseline node.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, write_report
+from repro.core import costmodel
+from repro.core import stats as S
+
+
+@pytest.mark.benchmark(group="sec56")
+def test_sec56_offpath_overhead(benchmark, l1):
+    overhead = benchmark(S.offpath_overhead, l1)
+    speculations = len(
+        [r for r in l1.forerunner_node.speculator.records if not r.error])
+    executed = len(l1.records)
+    per_spec = (overhead.speculation_cost
+                / max(1, speculations))
+    baseline_per_tx = overhead.execution_cost_baseline / max(1, executed)
+
+    rows = [
+        ["pre-executions performed", speculations],
+        ["transactions executed on-path", executed],
+        ["pre-executions per executed tx",
+         f"{speculations / max(1, executed):.2f}"],
+        ["speculation cost (off-path units)",
+         f"{overhead.speculation_cost:,}"],
+        ["prefetch cost (off-path units)",
+         f"{overhead.prefetch_cost:,}"],
+        ["baseline execution cost (on-path units)",
+         f"{overhead.execution_cost_baseline:,}"],
+        ["per-pre-execution cost / per-tx baseline cost",
+         f"{per_spec / baseline_per_tx:.2f}x"],
+        ["total off-path / on-path ratio", f"{overhead.ratio:.2f}x"],
+    ]
+    report = ascii_table(["Metric", "Value"], rows,
+                         title="§5.6 — overhead off the critical path")
+    report += ("\n\n(paper: one pre-execution + synthesis ~= 12.19x a "
+               "plain execution; total off-path work is a multiple of "
+               "that because each tx is speculated in several contexts)")
+    write_report("sec56_offpath_overhead", report)
+
+    ratio = per_spec / baseline_per_tx
+    assert 5.0 < ratio < 40.0
+    assert overhead.ratio > 1.0  # off-path work dominates on-path work
+    assert costmodel.SPECULATION_COST_FACTOR == pytest.approx(12.19)

@@ -1,0 +1,36 @@
+"""Table 3: breakdown by prediction outcome.
+
+Paper values: perfect 87.19% of txs at 11.33x; imperfect 11.96% at
+4.55x; missed 0.85% at 1.21x (prefetching already pays).  Shape:
+perfect >= imperfect >> missed > 1 (missed still benefits from the
+prefetcher), with satisfied classes covering the vast majority.
+"""
+
+import pytest
+
+from repro.bench import ascii_table, write_report
+from repro.core import stats as S
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_prediction_breakdown(benchmark, l1):
+    rows_obj = benchmark(S.table3, l1.records)
+    rows = [[r.name, f"{r.tx_fraction:.2%}",
+             f"{r.weighted_fraction:.2%}", f"{r.speedup:.2f}x"]
+            for r in rows_obj]
+    report = ascii_table(
+        ["Outcome", "% txs", "% (weighted)", "Speedup"],
+        rows,
+        title="Table 3 — breakdown by prediction outcome (heard txs)")
+    report += ("\n\n(paper: perfect 87.19%/11.33x, imperfect "
+               "11.96%/4.55x, missed 0.85%/1.21x)")
+    write_report("table3_prediction_breakdown", report)
+
+    by_name = {r.name: r for r in rows_obj}
+    perfect = by_name["satisfied/perfect"]
+    imperfect = by_name["satisfied/imperfect"]
+    missed = by_name["unsatisfied/missed"]
+    assert perfect.speedup >= imperfect.speedup > missed.speedup
+    assert missed.speedup > 1.0          # prefetching still pays
+    assert missed.tx_fraction < 0.15
+    assert perfect.tx_fraction + imperfect.tx_fraction > 0.85

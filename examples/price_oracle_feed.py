@@ -1,0 +1,67 @@
+"""Price-oracle feed under speculation: the paper's motivating workload.
+
+Oracle feeds are infrastructure for DeFi (paper §4.2): many reporters
+submit prices into shared 300-second rounds, so submissions to the same
+feed are inter-dependent AND timestamp-sensitive.  This example builds
+an oracle-only traffic period, runs the full DiCE simulation, and shows
+how Forerunner handles the two context-variation axes (ordering of
+submissions, block timestamps) — the exact Figure 5 situation, at
+traffic scale.
+
+Run:  python examples/price_oracle_feed.py
+"""
+
+from repro.core import stats as S
+from repro.p2p.latency import LatencyModel
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.workloads.mixed import TrafficConfig
+
+
+def main():
+    # Oracle-heavy traffic: 4 feeds x 8 reporters, almost nothing else.
+    traffic = TrafficConfig(
+        duration=400.0, seed=31,
+        oracle_feeds=4, oracle_reporters=8,
+        token_rate=0.1, dex_rate=0.05, auction_rate=0.0,
+        registry_rate=0.0, eth_transfer_rate=0.1,
+    )
+    config = DatasetConfig(name="oracle", traffic=traffic,
+                           observers={"live": LatencyModel()}, seed=31)
+    print("Recording an oracle-dominated traffic period "
+          "(4 feeds x 8 reporters, 300s rounds)...")
+    dataset = record_dataset(config)
+    print(f"  {dataset.tx_count} transactions in "
+          f"{len(dataset.blocks)} blocks\n")
+
+    run = replay(dataset, "live")
+    oracle_records = [r for r in run.records if r.kind == "oracle"]
+    heard = [r for r in oracle_records if r.heard]
+    satisfied = [r for r in heard if r.outcome == "satisfied"]
+    perfect = [r for r in satisfied if r.perfect]
+
+    print("Oracle submissions:")
+    print(f"  total executed:        {len(oracle_records)}")
+    print(f"  heard in advance:      {len(heard)}")
+    print(f"  constraints satisfied: {len(satisfied)} "
+          f"({len(satisfied) / max(1, len(heard)):.1%})")
+    print(f"  perfectly predicted:   {len(perfect)} "
+          f"({len(perfect) / max(1, len(heard)):.1%})")
+    print(f"  speedup (all heard):   "
+          f"{S.aggregate_speedup(heard):.2f}x")
+    imperfect = [r for r in satisfied if not r.perfect]
+    if imperfect:
+        print(f"  speedup (imperfect):   "
+              f"{S.aggregate_speedup(imperfect):.2f}x   <- the "
+              f"constraint-based win:")
+        print("     these contexts matched NO speculated future exactly")
+        print("     (different submission counts / timestamps), yet the")
+        print("     CD-Equiv constraints held and the fast path ran.")
+
+    print(f"\nMerkle roots matched on all {run.roots_matched} blocks; "
+          f"whole-run effective speedup "
+          f"{S.summarize(run.records).effective_speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

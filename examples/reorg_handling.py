@@ -1,0 +1,100 @@
+"""Temporary forks and reorgs under speculation.
+
+The paper's §1 notes 8.4% of successfully mined blocks land on
+temporary forks — a node sometimes executes a block, then learns a
+competing branch won, and must roll back.  This example drives a
+Forerunner node through exactly that: one branch executes Alice's
+oracle submission, a longer rival branch arrives carrying Bob's
+instead, the node reorgs (restoring the fork-point state and requeueing
+Alice's transaction), and the final state is bit-identical to a node
+that only ever saw the winning branch.
+
+Run:  python examples/reorg_handling.py
+"""
+
+from repro.chain import Block, BlockHeader, Transaction
+from repro.contracts import pricefeed
+from repro.core.chainsync import ChainManager
+from repro.core.node import BaselineNode, ForerunnerNode
+from repro.state import WorldState
+
+ALICE, BOB, FEED = 0xA11CE, 0xB0B, 0xFEED
+ROUND = 3990300
+PF = pricefeed()
+
+
+def fresh_world():
+    world = WorldState()
+    world.create_account(ALICE, balance=10**24)
+    world.create_account(BOB, balance=10**24)
+    world.create_account(FEED, code=PF.code)
+    return world
+
+
+def submit(sender, price):
+    return Transaction(sender=sender, to=FEED,
+                       data=PF.calldata("submit", ROUND, price), nonce=0)
+
+
+def block_on(parent, txs, ts_offset=13, coinbase=0xE0):
+    return Block(header=BlockHeader(
+        number=parent.number + 1,
+        timestamp=parent.header.timestamp + ts_offset,
+        coinbase=coinbase, parent_hash=parent.hash), transactions=txs)
+
+
+def main():
+    genesis = Block(header=BlockHeader(number=0, timestamp=ROUND + 20,
+                                       coinbase=0))
+    node = ForerunnerNode(fresh_world())
+    manager = ChainManager(node, genesis)
+
+    alice_tx, bob_tx = submit(ALICE, 2000), submit(BOB, 1500)
+    node.on_transaction(alice_tx, now=0.0)
+    node.on_transaction(bob_tx, now=0.2)
+    node.run_speculation(0.5)
+
+    # Branch A wins the first race: Alice's submission executes.
+    block_a = block_on(genesis, [alice_tx])
+    manager.receive_block(block_a, now=2.0)
+    price = node.world.get_account(FEED).get_storage(
+        PF.slot_of("prices", ROUND))
+    print(f"after branch A : price={price} (Alice's 2000), "
+          f"pool={len(node.pool)} pending")
+
+    # A competing branch with Bob's submission arrives — same height
+    # first (ignored), then one longer (reorg!).
+    rival_1 = block_on(genesis, [bob_tx], ts_offset=14, coinbase=0xE1)
+    rival_2 = block_on(rival_1, [], coinbase=0xE1)
+    manager.receive_block(rival_1, now=2.5)
+    manager.receive_block(rival_2, now=3.0)
+    price = node.world.get_account(FEED).get_storage(
+        PF.slot_of("prices", ROUND))
+    print(f"after reorg    : price={price} (Bob's 1500), "
+          f"reorgs={manager.reorgs}, "
+          f"blocks re-executed={manager.blocks_reexecuted}")
+    print(f"Alice's abandoned tx back in the pool: "
+          f"{alice_tx.hash in node.pool}")
+
+    # Ground truth: a node that only ever saw the winning branch.
+    reference = BaselineNode(fresh_world())
+    reference.process_block(rival_1)
+    reference.process_block(rival_2)
+    match = reference.world.root() == node.world.root()
+    print(f"state root equals straight-line execution: {match}")
+
+    # Alice's transaction gets re-speculated and lands in the next
+    # block on the winning branch.
+    node.run_speculation(3.5)
+    block_3 = block_on(rival_2, [alice_tx], coinbase=0xE1)
+    report = manager.receive_block(block_3, now=5.0)
+    record = report.records[0]
+    print(f"Alice's tx finally executes: outcome={record.outcome}, "
+          f"accelerated={record.ap_ready}")
+    price = node.world.get_account(FEED).get_storage(
+        PF.slot_of("prices", ROUND))
+    print(f"final price    : {price} (avg of 1500 and 2000)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `setup.py develop` work where pip's
+wheel-based editable install is unavailable (offline environment)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Forerunner: constraint-based speculative transaction execution for
+Ethereum — a full Python reproduction of the SOSP 2021 paper.
+
+Quick tour of the public API::
+
+    from repro import (
+        Transaction, BlockHeader, WorldState, StateDB,
+        Speculator, FutureContext, TransactionAccelerator,
+        BaselineNode, ForerunnerNode,
+        compile_contract, record_dataset, replay,
+    )
+
+See README.md for the architecture map, docs/PIPELINE.md for a staged
+walkthrough of AP synthesis on the paper's running example, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core.accelerator import TransactionAccelerator
+from repro.core.node import BaselineNode, ForerunnerConfig, ForerunnerNode
+from repro.core.speculator import FutureContext, Speculator
+from repro.minisol.compiler import compile_contract
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Transaction",
+    "TransactionAccelerator",
+    "BaselineNode",
+    "ForerunnerConfig",
+    "ForerunnerNode",
+    "FutureContext",
+    "Speculator",
+    "compile_contract",
+    "replay",
+    "DatasetConfig",
+    "record_dataset",
+    "StateDB",
+    "WorldState",
+    "__version__",
+]

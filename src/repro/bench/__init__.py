@@ -1,0 +1,7 @@
+"""Benchmark harness support: formatting, persistence, Figure-2 model."""
+
+from repro.bench.report import ascii_table, bar_chart, write_report
+from repro.bench.history import simulate_block_history
+
+__all__ = ["ascii_table", "bar_chart", "write_report",
+           "simulate_block_history"]

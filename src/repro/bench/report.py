@@ -1,0 +1,61 @@
+"""Benchmark output helpers.
+
+Every bench prints the paper-style rows/series to stdout AND persists
+them under ``benchmarks/out/`` so results survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+#: Directory where benches drop their rendered tables.
+OUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "out")
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence],
+                title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def bar_chart(rows: Iterable[Sequence], width: int = 40,
+              title: str = "") -> str:
+    """Render (label, fraction) pairs as a horizontal ASCII bar chart."""
+    rows = [(str(label), float(value)) for label, value in rows]
+    peak = max((value for _, value in rows), default=0.0) or 1.0
+    label_width = max((len(label) for label, _ in rows), default=0)
+    lines = [title] if title else []
+    for label, value in rows:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)}  {value:7.2%} {bar}")
+    return "\n".join(lines)
+
+
+def write_report(name: str, content: str) -> str:
+    """Print ``content`` and persist it to benchmarks/out/<name>.txt."""
+    print()
+    print(content)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + "\n")
+    return path

@@ -1,0 +1,8 @@
+"""Blocks, transactions, and the chain structure (with temporary forks)."""
+
+from repro.chain.transaction import Transaction
+from repro.chain.block import Block, BlockHeader
+from repro.chain.receipts import Receipt
+from repro.chain.blockchain import Blockchain
+
+__all__ = ["Transaction", "Block", "BlockHeader", "Receipt", "Blockchain"]

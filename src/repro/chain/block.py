@@ -1,0 +1,67 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.constants import DEFAULT_BLOCK_GAS_LIMIT
+from repro.chain.transaction import Transaction
+from repro.utils.hashing import hash_words
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Block metadata visible to executing transactions.
+
+    These are exactly the context fields the paper's example reads
+    (``block.timestamp``) and the predictor must guess (timestamp,
+    coinbase; §4.4).
+    """
+
+    number: int
+    timestamp: int
+    coinbase: int
+    parent_hash: int = 0
+    gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
+    difficulty: int = 1
+    chain_id: int = 1
+
+    @property
+    def hash(self) -> int:
+        """Header hash (also used as the block hash)."""
+        return hash_words((
+            self.number, self.timestamp, self.coinbase,
+            self.parent_hash, self.gas_limit, self.difficulty,
+        ))
+
+
+@dataclass
+class Block:
+    """A block: header + ordered transactions (+ post-state root)."""
+
+    header: BlockHeader
+    transactions: List[Transaction] = field(default_factory=list)
+    #: Merkle root of the world state after executing this block;
+    #: filled in by the miner, re-derived and checked by every node (§5.2).
+    state_root: Optional[int] = None
+    #: Miner id that produced the block (simulation bookkeeping).
+    miner_id: Optional[int] = None
+
+    @property
+    def hash(self) -> int:
+        return self.header.hash
+
+    @property
+    def number(self) -> int:
+        return self.header.number
+
+    def gas_used(self, gas_by_tx: Optional[dict] = None) -> int:
+        """Total gas limit committed by the packed transactions."""
+        if gas_by_tx:
+            return sum(gas_by_tx.get(tx.hash, tx.gas_limit)
+                       for tx in self.transactions)
+        return sum(tx.gas_limit for tx in self.transactions)
+
+    def tx_hashes(self) -> Tuple[int, ...]:
+        return tuple(tx.hash for tx in self.transactions)

@@ -1,0 +1,72 @@
+"""Chain structure: canonical chain plus temporary forks.
+
+The paper motivates the many-future problem partly with observable
+temporary forks (§1 fn. 1: 8.4% of mined blocks end up on temporary
+forks).  The simulation therefore keeps all received blocks in a block
+tree and tracks the canonical head by height (first-seen wins ties,
+like PoW clients).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.errors import ChainError
+
+
+class Blockchain:
+    """A block tree with a canonical head."""
+
+    def __init__(self, genesis: Block) -> None:
+        if genesis.header.number != 0:
+            raise ChainError("genesis block must have number 0")
+        self._blocks: Dict[int, Block] = {genesis.hash: genesis}
+        self._children: Dict[int, List[int]] = {}
+        self.head: Block = genesis
+        self.genesis = genesis
+
+    def __contains__(self, block_hash: int) -> bool:
+        return block_hash in self._blocks
+
+    def get(self, block_hash: int) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def add(self, block: Block) -> bool:
+        """Insert ``block``; returns True if it became the new head."""
+        if block.hash in self._blocks:
+            return False
+        parent = self._blocks.get(block.header.parent_hash)
+        if parent is None:
+            raise ChainError(
+                f"unknown parent {block.header.parent_hash:#x} "
+                f"for block {block.number}")
+        if block.number != parent.number + 1:
+            raise ChainError(
+                f"block number {block.number} does not follow parent "
+                f"{parent.number}")
+        self._blocks[block.hash] = block
+        self._children.setdefault(parent.hash, []).append(block.hash)
+        if block.number > self.head.number:
+            self.head = block
+            return True
+        return False
+
+    def canonical_chain(self) -> List[Block]:
+        """Blocks from genesis to the current head."""
+        chain: List[Block] = []
+        cursor: Optional[Block] = self.head
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        chain.reverse()
+        return chain
+
+    def fork_blocks(self) -> List[Block]:
+        """Blocks stored but not on the canonical chain (temporary forks)."""
+        canonical = {b.hash for b in self.canonical_chain()}
+        return [b for b in self._blocks.values() if b.hash not in canonical]
+
+    def block_count(self) -> int:
+        """All blocks including forks (Table 1 counts forks too)."""
+        return len(self._blocks)

@@ -1,0 +1,25 @@
+"""Execution receipts: the per-transaction outcome record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class Receipt:
+    """Outcome of executing one transaction.
+
+    ``success`` is False when the top-level call reverted or ran out of
+    gas (the transaction is still included and the fee still paid).
+    """
+
+    tx_hash: int
+    success: bool
+    gas_used: int
+    return_data: bytes = b""
+    logs: List[Tuple[int, Tuple[int, ...], bytes]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "ok" if self.success else "reverted"
+        return f"tx {self.tx_hash:#x} {status} gas={self.gas_used}"

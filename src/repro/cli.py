@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate``  — run the full DiCE evaluation and print the paper's
+  headline tables (a compact version of §5).
+* ``record``    — record a traffic period to a JSON dataset (the
+  paper publishes its datasets; so do we).
+* ``replay``    — replay a recorded dataset through the nodes.
+* ``compile``   — compile a minisol source file; print ABI, storage
+  layout, and disassembly.
+* ``synthesize``— trace the paper's Tx_e and print the synthesized
+  accelerated program (Figure 8), or ``--merged`` for the FC1+FC4
+  case-branching tree (Figure 10).
+* ``history``   — print the Figure 2 block-saturation series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import stats as S
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.emulator import replay
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="cli",
+        traffic=TrafficConfig(duration=args.duration, seed=args.seed),
+        observers={"live": LatencyModel()},
+        seed=args.seed)
+    print(f"Recording {args.duration:.0f}s of traffic "
+          f"(seed {args.seed})...")
+    dataset = record_dataset(config)
+    print(f"  {dataset.tx_count} txs / {len(dataset.blocks)} blocks "
+          f"(+{len(dataset.fork_blocks)} forks)")
+    run = replay(dataset, "live")
+    summary = S.summarize(run.records)
+    print(f"\nMerkle roots matched: {run.roots_matched}/"
+          f"{run.blocks_executed}")
+    print(f"Heard: {summary.heard_fraction:.2%} "
+          f"({summary.heard_weighted:.2%} weighted)")
+    for row in S.table2(run.records):
+        print(f"  {row.name:<44} {row.speedup:>6.2f}x  "
+              f"sat {row.satisfied_fraction:.2%}")
+    print(f"  {'End-to-end':<44} {summary.end_to_end_speedup:>6.2f}x")
+    for row in S.table3(run.records):
+        print(f"  {row.name:<22} {row.tx_fraction:>7.2%}  "
+              f"{row.speedup:>6.2f}x")
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.sim.storage import save_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name=args.name,
+        traffic=TrafficConfig(duration=args.duration, seed=args.seed),
+        observers={"live": LatencyModel()},
+        seed=args.seed)
+    dataset = record_dataset(config)
+    save_dataset(dataset, args.out)
+    print(f"recorded {dataset.tx_count} txs / {len(dataset.blocks)} "
+          f"blocks (+{len(dataset.fork_blocks)} forks) -> {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.sim.emulator import replay
+    from repro.sim.storage import load_dataset
+
+    dataset = load_dataset(args.dataset)
+    run = replay(dataset, args.observer)
+    summary = S.summarize(run.records)
+    print(f"dataset {dataset.name}: {len(run.records)} txs, "
+          f"roots matched {run.roots_matched}/{run.blocks_executed}")
+    print(f"effective speedup {summary.effective_speedup:.2f}x, "
+          f"end-to-end {summary.end_to_end_speedup:.2f}x, "
+          f"satisfied {summary.satisfied_fraction:.2%}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.evm.assembler import format_disassembly
+    from repro.minisol import compile_contract
+
+    with open(args.source, encoding="utf-8") as handle:
+        source = handle.read()
+    compiled = compile_contract(source)
+    print(f"contract {compiled.name}: {len(compiled.code)} bytes\n")
+    print("Functions:")
+    for fn in compiled.functions.values():
+        ret = " -> uint256" if fn.returns_value else ""
+        print(f"  {fn.selector:#010x}  {fn.signature}{ret}")
+    print("\nStorage layout:")
+    for name, slot in compiled.storage_layout.items():
+        print(f"  slot {slot}: {name}")
+    if args.disassemble:
+        print("\nDisassembly:")
+        print(format_disassembly(compiled.code))
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.chain.block import BlockHeader
+    from repro.chain.transaction import Transaction
+    from repro.contracts import pricefeed
+    from repro.core.ap import describe_ap
+    from repro.core.speculator import FutureContext, Speculator, \
+        synthesize_path
+    from repro.core.trace import trace_transaction
+    from repro.state.statedb import StateDB
+    from repro.state.world import WorldState
+
+    pf = pricefeed()
+    round_id = 3990300
+
+    def make_world(active_round=round_id):
+        world = WorldState()
+        world.create_account(0xA11CE, balance=10**24)
+        world.create_account(0xFEED, code=pf.code)
+        feed = world.get_account(0xFEED)
+        feed.set_storage(pf.slot_of("activeRoundID"), active_round)
+        if active_round == round_id:
+            feed.set_storage(pf.slot_of("prices", round_id), 2000)
+            feed.set_storage(pf.slot_of("submissionCounts", round_id), 4)
+        return world
+
+    tx = Transaction(sender=0xA11CE, to=0xFEED,
+                     data=pf.calldata("submit", round_id, 1980), nonce=0)
+    if args.merged:
+        # Figure 10: FC1 (later submission) merged with FC4 (fresh
+        # round) into one case-branching AP.
+        speculator = Speculator(make_world())
+        speculator.speculate(
+            tx, FutureContext(1, BlockHeader(1, 3990462, 0xBEEF)))
+        speculator.world = make_world(active_round=3990000)
+        speculator.speculate(
+            tx, FutureContext(4, BlockHeader(1, 3990478, 0xBEEF)))
+        ap = speculator.get_ap(tx.hash)
+        print("Merged AP of Tx_e over FC1 (else-branch) and FC4 "
+              "(if-branch) — a textual Figure 10:\n")
+        print(describe_ap(ap))
+        return 0
+    header = BlockHeader(1, args.timestamp, 0xBEEF)
+    trace = trace_transaction(StateDB(make_world()), header, tx)
+    path = synthesize_path(trace)
+    stats = path.stats
+    print(f"Tx_e traced in FC(timestamp={args.timestamp}): "
+          f"{stats.trace_len} EVM instructions")
+    print(f"Synthesized AP path ({stats.final_len} instructions, "
+          f"{stats.final_len / stats.trace_len:.1%} of trace):\n")
+    for instr in path.instrs:
+        print(f"  {instr!r}")
+    print(f"\nread set: {len(path.read_set)} entries, "
+          f"gas (constant): {path.gas_used}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.bench.history import simulate_block_history
+
+    points = simulate_block_history(args.months)
+    print(f"{'month':>5}  {'gas limit':>12}  {'gas used':>12}  util")
+    for point in points[::args.step]:
+        print(f"{point.month:>5}  {point.gas_limit:>11,.0f}k "
+              f"{point.gas_used:>12,.0f}k  "
+              f"{point.gas_used / point.gas_limit:>4.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Forerunner (SOSP 2021) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run the DiCE evaluation end to end")
+    simulate.add_argument("--duration", type=float, default=150.0,
+                          help="seconds of simulated traffic")
+    simulate.add_argument("--seed", type=int, default=2021)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    record = sub.add_parser(
+        "record", help="record a traffic period to a JSON dataset")
+    record.add_argument("--out", required=True)
+    record.add_argument("--name", default="dataset")
+    record.add_argument("--duration", type=float, default=120.0)
+    record.add_argument("--seed", type=int, default=2021)
+    record.set_defaults(func=_cmd_record)
+
+    replay_cmd = sub.add_parser(
+        "replay", help="replay a recorded dataset through the nodes")
+    replay_cmd.add_argument("dataset", help="path to a recorded .json")
+    replay_cmd.add_argument("--observer", default="live")
+    replay_cmd.set_defaults(func=_cmd_replay)
+
+    compile_cmd = sub.add_parser(
+        "compile", help="compile a minisol source file")
+    compile_cmd.add_argument("source", help="path to .sol-like source")
+    compile_cmd.add_argument("--disassemble", action="store_true")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    synthesize = sub.add_parser(
+        "synthesize",
+        help="print the AP synthesized for the paper's Tx_e")
+    synthesize.add_argument("--timestamp", type=int, default=3990462)
+    synthesize.add_argument(
+        "--merged", action="store_true",
+        help="print the FC1+FC4 merged AP tree (Figure 10)")
+    synthesize.set_defaults(func=_cmd_synthesize)
+
+    history = sub.add_parser(
+        "history", help="print the Figure-2 saturation series")
+    history.add_argument("--months", type=int, default=66)
+    history.add_argument("--step", type=int, default=3)
+    history.set_defaults(func=_cmd_history)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

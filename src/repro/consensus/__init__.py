@@ -1,0 +1,7 @@
+"""Consensus model: PoW-style miner selection and block packing."""
+
+from repro.consensus.pow import PowSchedule
+from repro.consensus.miner import Miner
+from repro.consensus.packing import pack_block
+
+__all__ = ["PowSchedule", "Miner", "pack_block"]

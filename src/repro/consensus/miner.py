@@ -1,0 +1,69 @@
+"""A mining participant: its view of the pool and its block template.
+
+Each miner sees transactions at its own gossip arrival times, keeps its
+own clock skew (timestamps come from local clocks — paper §4.2 cause
+(ii)), and packs blocks with :func:`repro.consensus.packing.pack_block`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.transaction import Transaction
+from repro.consensus.packing import pack_block
+from repro.constants import DEFAULT_BLOCK_GAS_LIMIT
+
+
+@dataclass
+class Miner:
+    """One miner's local view."""
+
+    miner_id: int
+    clock_skew: float = 0.0
+    gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT
+    seed: int = 0
+    #: tx hash -> arrival time at this miner.
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    known: Dict[int, Transaction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random((self.seed << 16) ^ self.miner_id)
+
+    def hear(self, tx: Transaction, arrival: float) -> None:
+        """Record a gossip delivery at this miner (inf = never heard)."""
+        if arrival == float("inf"):
+            return
+        self.known[tx.hash] = tx
+        self.arrivals[tx.hash] = arrival
+
+    def visible_at(self, when: float,
+                   already_packed: Set[int]) -> List[Transaction]:
+        """Transactions this miner could pack at time ``when``."""
+        return [
+            tx for tx_hash, tx in self.known.items()
+            if self.arrivals[tx_hash] <= when
+            and tx_hash not in already_packed
+        ]
+
+    def build_block(self, when: float, parent: Block,
+                    next_nonces: Dict[int, int],
+                    already_packed: Set[int]) -> Block:
+        """Pack and stamp a new block at mining time ``when``."""
+        candidates = self.visible_at(when, already_packed)
+        transactions = pack_block(
+            candidates, next_nonces, gas_limit=self.gas_limit,
+            miner_id=self.miner_id, rng=self._rng)
+        timestamp = max(int(when + self.clock_skew),
+                        parent.header.timestamp + 1)
+        header = BlockHeader(
+            number=parent.number + 1,
+            timestamp=timestamp,
+            coinbase=self.miner_id,
+            parent_hash=parent.hash,
+            gas_limit=self.gas_limit,
+        )
+        return Block(header=header, transactions=transactions,
+                     miner_id=self.miner_id)

@@ -1,0 +1,74 @@
+"""Block packing: how a miner orders pending transactions into a block.
+
+Implements the behaviours the predictor exploits (paper §4.4): gas-price
+priority with random tie-breaking, miner self-priority, nonce-readiness,
+and the block gas limit.  Packing against each miner's *own view* of the
+pool is what produces the ordering variation between futures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.chain.transaction import Transaction
+from repro.constants import DEFAULT_BLOCK_GAS_LIMIT
+
+
+def pack_block(
+    candidates: Iterable[Transaction],
+    next_nonces: Dict[int, int],
+    gas_limit: int = DEFAULT_BLOCK_GAS_LIMIT,
+    miner_id: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    exclude: Optional[Set[int]] = None,
+) -> List[Transaction]:
+    """Select and order transactions for one block.
+
+    ``next_nonces`` maps sender -> expected next nonce (from the chain
+    state); a transaction is packable only when its nonce is next in
+    line given the block built so far.
+    """
+    rng = rng or random.Random(0)
+    exclude = exclude or set()
+
+    def sort_key(tx: Transaction):
+        own = 1 if (miner_id is not None
+                    and tx.origin_miner == miner_id) else 0
+        return (-own, -tx.gas_price, rng.random())
+
+    ranked = sorted(
+        (tx for tx in candidates if tx.hash not in exclude),
+        key=sort_key)
+
+    packed: List[Transaction] = []
+    gas_budget = gas_limit
+    working_nonces = dict(next_nonces)
+    deferred: Dict[int, List[Transaction]] = {}
+
+    def try_pack(tx: Transaction) -> bool:
+        nonlocal gas_budget
+        expected = working_nonces.get(tx.sender, 0)
+        if tx.nonce != expected or tx.gas_limit > gas_budget:
+            return False
+        packed.append(tx)
+        gas_budget -= tx.gas_limit
+        working_nonces[tx.sender] = expected + 1
+        return True
+
+    for tx in ranked:
+        if try_pack(tx):
+            # A packed tx may unblock deferred same-sender successors.
+            queue = deferred.get(tx.sender, [])
+            progress = True
+            while progress and queue:
+                progress = False
+                for waiting in list(queue):
+                    if try_pack(waiting):
+                        queue.remove(waiting)
+                        progress = True
+        else:
+            expected = working_nonces.get(tx.sender, 0)
+            if tx.nonce > expected:
+                deferred.setdefault(tx.sender, []).append(tx)
+    return packed

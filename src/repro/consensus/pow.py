@@ -1,0 +1,51 @@
+"""Proof-of-Work block-arrival process.
+
+The consensus algorithm itself is out of scope (paper §2: whatever
+happens in the consensus phase, real work happens in the execution
+windows).  What matters for speculation is its *statistics*:
+
+* inter-block times are approximately exponential (memoryless mining),
+* the winning miner is selected with probability proportional to hash
+  power, with no miner dominating — the core of the many-future curse.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.constants import DEFAULT_BLOCK_INTERVAL
+
+
+@dataclass
+class PowSchedule:
+    """Samples (block time, winning miner) pairs."""
+
+    hash_power: Dict[int, float]
+    mean_interval: float = DEFAULT_BLOCK_INTERVAL
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        total = sum(self.hash_power.values())
+        self._miners: List[int] = list(self.hash_power)
+        self._weights = [self.hash_power[m] / total for m in self._miners]
+
+    def next_block(self, now: float) -> Tuple[float, int]:
+        """Time of the next block and its winning miner."""
+        interval = self._rng.expovariate(1.0 / self.mean_interval)
+        winner = self._rng.choices(self._miners, weights=self._weights)[0]
+        return now + interval, winner
+
+    def competing_miner(self, winner: int) -> int:
+        """A different miner (for temporary-fork generation)."""
+        others = [m for m in self._miners if m != winner]
+        if not others:
+            return winner
+        weights = [self.hash_power[m] for m in others]
+        return self._rng.choices(others, weights=weights)[0]
+
+    def uniform(self) -> float:
+        """One uniform sample from the schedule's RNG (fork rolls)."""
+        return self._rng.random()

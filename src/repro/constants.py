@@ -1,0 +1,45 @@
+"""Protocol-level constants used throughout the reproduction."""
+
+from __future__ import annotations
+
+#: Width of an EVM machine word in bits.
+WORD_BITS = 256
+
+#: Modulus for 256-bit unsigned arithmetic.
+UINT256_MAX = 2**256 - 1
+UINT256_MOD = 2**256
+
+#: Sign bit for two's-complement interpretation of a word.
+SIGN_BIT = 2**255
+
+#: Maximum EVM stack depth (yellow paper).
+STACK_LIMIT = 1024
+
+#: Maximum call depth for internal message calls.
+CALL_DEPTH_LIMIT = 1024
+
+#: Number of bytes in an address.  We use full 32-byte identifiers
+#: internally (addresses are opaque integers) but keep the constant for
+#: ABI encoding decisions.
+ADDRESS_BYTES = 20
+
+#: Default block gas limit, roughly the 2021 Ethereum mainnet value
+#: (Figure 2 of the paper shows the limit near 15M gas in 2021).
+DEFAULT_BLOCK_GAS_LIMIT = 15_000_000
+
+#: Default per-transaction gas limit used by workload generators.
+DEFAULT_TX_GAS_LIMIT = 500_000
+
+#: Flat intrinsic gas charged for any transaction (yellow paper G_transaction).
+INTRINSIC_GAS = 21_000
+
+#: Gas charged per non-zero byte of transaction data.
+TX_DATA_NONZERO_GAS = 16
+#: Gas charged per zero byte of transaction data.
+TX_DATA_ZERO_GAS = 4
+
+#: Target mean seconds between blocks (Ethereum PoW ~13s).
+DEFAULT_BLOCK_INTERVAL = 13.0
+
+#: PriceFeed round length in seconds (paper §4.2: 5-minute rounds).
+ORACLE_ROUND_SECONDS = 300

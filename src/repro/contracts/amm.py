@@ -1,0 +1,83 @@
+"""Constant-product AMM (Uniswap-v2 style) over two token contracts.
+
+Every swap reads and writes the shared reserves, so concurrent swaps are
+*densely inter-dependent*: their execution order changes the amounts
+each receives.  This is the hard end of the prediction spectrum — the
+ordering enumeration in the paper's context constructor (§4.4) exists
+for exactly this workload.  Swaps also make external calls into the two
+token contracts, exercising CALL inlining in traces.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+from repro.minisol.abi import selector
+
+#: Selector of Token.transferFrom(address,address,uint256) — the AMM
+#: pulls the input token from the trader.
+TRANSFER_FROM_SELECTOR = selector("transferFrom(address,address,uint256)")
+#: Selector of Token.transfer(address,uint256) — the AMM pays the trader.
+TRANSFER_SELECTOR = selector("transfer(address,uint256)")
+
+AMM_SOURCE = f"""
+contract AMM {{
+    uint256 public reserve0;
+    uint256 public reserve1;
+    uint256 public token0;
+    uint256 public token1;
+    uint256 public selfAddr;
+
+    event Swap(address trader, uint256 amountIn, uint256 amountOut,
+               uint256 direction);
+
+    // Swap token0 -> token1 with a 0.3% fee, constant-product pricing.
+    function swap0to1(uint256 amountIn, uint256 minOut)
+        public returns (uint256)
+    {{
+        require(amountIn > 0);
+        uint256 r0 = reserve0;
+        uint256 r1 = reserve1;
+        uint256 amountInWithFee = amountIn * 997;
+        uint256 numerator = amountInWithFee * r1;
+        uint256 denominator = r0 * 1000 + amountInWithFee;
+        uint256 amountOut = numerator / denominator;
+        require(amountOut >= minOut);
+        extcall(token0, {TRANSFER_FROM_SELECTOR}, msg.sender, selfAddr,
+                amountIn);
+        extcall(token1, {TRANSFER_SELECTOR}, msg.sender, amountOut);
+        reserve0 = r0 + amountIn;
+        reserve1 = r1 - amountOut;
+        emit Swap(msg.sender, amountIn, amountOut, 0);
+        return amountOut;
+    }}
+
+    // Swap token1 -> token0.
+    function swap1to0(uint256 amountIn, uint256 minOut)
+        public returns (uint256)
+    {{
+        require(amountIn > 0);
+        uint256 r0 = reserve0;
+        uint256 r1 = reserve1;
+        uint256 amountInWithFee = amountIn * 997;
+        uint256 numerator = amountInWithFee * r0;
+        uint256 denominator = r1 * 1000 + amountInWithFee;
+        uint256 amountOut = numerator / denominator;
+        require(amountOut >= minOut);
+        extcall(token1, {TRANSFER_FROM_SELECTOR}, msg.sender, selfAddr,
+                amountIn);
+        extcall(token0, {TRANSFER_SELECTOR}, msg.sender, amountOut);
+        reserve1 = r1 + amountIn;
+        reserve0 = r0 - amountOut;
+        emit Swap(msg.sender, amountIn, amountOut, 1);
+        return amountOut;
+    }}
+}}
+"""
+
+
+@lru_cache(maxsize=1)
+def amm() -> CompiledContract:
+    """Compiled AMM (cached)."""
+    return compile_contract(AMM_SOURCE)

@@ -1,0 +1,58 @@
+"""Open ascending auction with a timestamp deadline.
+
+Bids branch on both the deadline (``block.timestamp``) and the current
+high bid — context-sensitive control flow in two dimensions, like the
+paper's FC1-vs-FC4 divergence.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+
+AUCTION_SOURCE = """
+contract Auction {
+    uint256 public highBid;
+    address public highBidder;
+    uint256 public deadline;
+    mapping(address => uint256) public refunds;
+    uint256 public settled;
+
+    event NewHighBid(address bidder, uint256 amount);
+    event Outbid(address bidder, uint256 amount);
+
+    function bid(uint256 amount) public {
+        require(block.timestamp < deadline);
+        uint256 current = highBid;
+        require(amount > current);
+        address previous = highBidder;
+        if (previous != 0) {
+            refunds[previous] = refunds[previous] + current;
+            emit Outbid(previous, current);
+        }
+        highBid = amount;
+        highBidder = msg.sender;
+        emit NewHighBid(msg.sender, amount);
+    }
+
+    function settle() public {
+        require(block.timestamp >= deadline);
+        require(settled == 0);
+        settled = 1;
+    }
+
+    function withdrawRefund() public returns (uint256) {
+        uint256 amount = refunds[msg.sender];
+        require(amount > 0);
+        refunds[msg.sender] = 0;
+        return amount;
+    }
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def auction() -> CompiledContract:
+    """Compiled Auction (cached)."""
+    return compile_contract(AUCTION_SOURCE)

@@ -1,0 +1,65 @@
+"""ERC20-style fungible token.
+
+Transfers touch only the two account balances involved, so most token
+transactions are mutually independent — the easy, high-coverage end of
+the speculation spectrum.  ``transferFrom`` adds an allowance read-
+modify-write (a two-level mapping) for deeper storage traffic.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+
+ERC20_SOURCE = """
+contract Token {
+    uint256 public totalSupply;
+    mapping(address => uint256) public balanceOf;
+    mapping(address => mapping(address => uint256)) public allowance;
+
+    event Transfer(address from, address to, uint256 value);
+    event Approval(address owner, address spender, uint256 value);
+
+    function transfer(address to, uint256 value) public returns (bool) {
+        uint256 fromBalance = balanceOf[msg.sender];
+        require(fromBalance >= value);
+        balanceOf[msg.sender] = fromBalance - value;
+        balanceOf[to] = balanceOf[to] + value;
+        emit Transfer(msg.sender, to, value);
+        return true;
+    }
+
+    function approve(address spender, uint256 value) public returns (bool) {
+        allowance[msg.sender][spender] = value;
+        emit Approval(msg.sender, spender, value);
+        return true;
+    }
+
+    function transferFrom(address from, address to, uint256 value)
+        public returns (bool)
+    {
+        uint256 allowed = allowance[from][msg.sender];
+        require(allowed >= value);
+        uint256 fromBalance = balanceOf[from];
+        require(fromBalance >= value);
+        allowance[from][msg.sender] = allowed - value;
+        balanceOf[from] = fromBalance - value;
+        balanceOf[to] = balanceOf[to] + value;
+        emit Transfer(from, to, value);
+        return true;
+    }
+
+    function mint(address to, uint256 value) public {
+        totalSupply = totalSupply + value;
+        balanceOf[to] = balanceOf[to] + value;
+        emit Transfer(0, to, value);
+    }
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def erc20() -> CompiledContract:
+    """Compiled Token (cached)."""
+    return compile_contract(ERC20_SOURCE)

@@ -1,0 +1,96 @@
+"""Lending pool: Compound-style supply/borrow with interest accrual.
+
+Interest accrues per second since the last interaction, so *every*
+transaction's effects depend on ``block.timestamp`` — the broadest
+possible exposure to header-field prediction.  Borrowing checks
+collateral value through a STATICCALL into a PriceFeed, chaining
+read-only cross-contract context.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+from repro.minisol.abi import selector
+
+#: Selector of PriceFeed.prices(uint256) — the collateral price getter.
+PRICES_SELECTOR = selector("prices(uint256)")
+
+#: Interest: principal * seconds * RATE_PER_SECOND / RATE_SCALE.
+RATE_PER_SECOND = 3
+RATE_SCALE = 10_000_000
+
+LENDING_SOURCE = f"""
+contract LendingPool {{
+    uint256 public totalSupplied;
+    uint256 public totalBorrowed;
+    uint256 public borrowIndex;
+    uint256 public lastAccrual;
+    uint256 public priceFeed;
+    uint256 public activeRound;
+    mapping(address => uint256) public supplied;
+    mapping(address => uint256) public borrowed;
+    mapping(address => uint256) public collateral;
+
+    event Accrued(uint256 newIndex, uint256 elapsed);
+    event Borrowed(address who, uint256 amount);
+
+    function accrue() public {{
+        uint256 last = lastAccrual;
+        uint256 nowTs = block.timestamp;
+        if (last == 0) {{ lastAccrual = nowTs; return; }}
+        if (nowTs <= last) {{ return; }}
+        uint256 elapsed = nowTs - last;
+        uint256 index = borrowIndex;
+        if (index == 0) {{ index = {RATE_SCALE}; }}
+        uint256 newIndex = index
+            + index * elapsed * {RATE_PER_SECOND} / {RATE_SCALE};
+        borrowIndex = newIndex;
+        uint256 debt = totalBorrowed;
+        totalBorrowed = debt + debt * elapsed * {RATE_PER_SECOND}
+            / {RATE_SCALE};
+        lastAccrual = nowTs;
+        emit Accrued(newIndex, elapsed);
+    }}
+
+    function supply(uint256 amount) public {{
+        require(amount > 0);
+        supplied[msg.sender] = supplied[msg.sender] + amount;
+        totalSupplied = totalSupplied + amount;
+    }}
+
+    function depositCollateral(uint256 amount) public {{
+        require(amount > 0);
+        collateral[msg.sender] = collateral[msg.sender] + amount;
+    }}
+
+    // Borrow against collateral valued via the price feed (STATICCALL).
+    function borrow(uint256 amount) public {{
+        require(amount > 0);
+        uint256 price = staticread(priceFeed, {PRICES_SELECTOR},
+                                   activeRound);
+        uint256 value = collateral[msg.sender] * price;
+        uint256 newDebt = borrowed[msg.sender] + amount;
+        // 150% collateralization, collateral priced in feed units.
+        require(value * 2 >= newDebt * 3);
+        require(totalSupplied >= totalBorrowed + amount);
+        borrowed[msg.sender] = newDebt;
+        totalBorrowed = totalBorrowed + amount;
+        emit Borrowed(msg.sender, amount);
+    }}
+
+    function repay(uint256 amount) public {{
+        uint256 debt = borrowed[msg.sender];
+        require(amount <= debt);
+        borrowed[msg.sender] = debt - amount;
+        totalBorrowed = totalBorrowed - amount;
+    }}
+}}
+"""
+
+
+@lru_cache(maxsize=1)
+def lending() -> CompiledContract:
+    """Compiled LendingPool (cached)."""
+    return compile_contract(LENDING_SOURCE)

@@ -1,0 +1,48 @@
+"""PriceFeed: the paper's running example (Figure 4), verbatim semantics.
+
+A price oracle aggregating submissions per 300-second round.  The two
+IF-conditions (round validity on ``block.timestamp``; first-vs-later
+submission on ``activeRoundID``) are exactly the control constraints the
+paper's Figures 8-10 build accelerated programs around.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+
+PRICEFEED_SOURCE = """
+contract PriceFeed {
+    // persistent state variables of the contract
+    uint256 public activeRoundID;
+    mapping(uint256 => uint256) public prices;
+    mapping(uint256 => uint256) public submissionCounts;
+
+    // method to submit a price for each 5-minute round
+    function submit(uint256 roundID, uint256 price) public {
+        uint256 curTime = block.timestamp;
+        uint256 curRoundID = curTime - curTime % 300;
+        if (roundID != curRoundID) { revert(); }
+
+        if (activeRoundID < roundID) {
+            activeRoundID = roundID;
+            prices[roundID] = price;
+            submissionCounts[roundID] = 1;
+        } else {
+            uint256 curPrice = prices[roundID];
+            uint256 curCount = submissionCounts[roundID];
+            uint256 newSum = curPrice * curCount + price;
+            uint256 newCount = curCount + 1;
+            submissionCounts[roundID] = newCount;
+            prices[roundID] = newSum / newCount;
+        }
+    }
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def pricefeed() -> CompiledContract:
+    """Compiled PriceFeed (cached)."""
+    return compile_contract(PRICEFEED_SOURCE)

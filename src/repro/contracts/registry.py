@@ -1,0 +1,71 @@
+"""Name registry with a per-write fee counter and a batch helper.
+
+``registerMany`` loops (``while``), producing long unrolled traces whose
+length depends on calldata, and ``resolveAndPay`` reads another
+contract through ``extcall`` — both exercise trace shapes beyond simple
+straight-line bodies.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.minisol import CompiledContract, compile_contract
+from repro.minisol.abi import selector
+
+#: Selector of Token.transfer(address,uint256).
+TRANSFER_SELECTOR = selector("transfer(address,uint256)")
+
+REGISTRY_SOURCE = f"""
+contract Registry {{
+    mapping(uint256 => address) public ownerOf;
+    mapping(address => uint256) public holdings;
+    uint256 public registrations;
+    uint256 public feeToken;
+    uint256 public feeSink;
+
+    event Registered(uint256 name, address owner);
+
+    function register(uint256 name) public {{
+        require(ownerOf[name] == 0);
+        ownerOf[name] = msg.sender;
+        holdings[msg.sender] = holdings[msg.sender] + 1;
+        registrations = registrations + 1;
+        emit Registered(name, msg.sender);
+    }}
+
+    // Register `count` sequential names starting at `base`.
+    function registerMany(uint256 base, uint256 count) public {{
+        uint256 i = 0;
+        while (i < count) {{
+            uint256 name = base + i;
+            require(ownerOf[name] == 0);
+            ownerOf[name] = msg.sender;
+            i = i + 1;
+        }}
+        holdings[msg.sender] = holdings[msg.sender] + count;
+        registrations = registrations + count;
+    }}
+
+    // Pay a 1-token fee through the fee token contract, then register.
+    function registerPaid(uint256 name) public {{
+        extcall(feeToken, {TRANSFER_SELECTOR}, feeSink, 1);
+        require(ownerOf[name] == 0);
+        ownerOf[name] = msg.sender;
+        registrations = registrations + 1;
+    }}
+
+    function transferName(uint256 name, address to) public {{
+        require(ownerOf[name] == msg.sender);
+        ownerOf[name] = to;
+        holdings[msg.sender] = holdings[msg.sender] - 1;
+        holdings[to] = holdings[to] + 1;
+    }}
+}}
+"""
+
+
+@lru_cache(maxsize=1)
+def registry() -> CompiledContract:
+    """Compiled Registry (cached)."""
+    return compile_contract(REGISTRY_SOURCE)

@@ -1,0 +1,38 @@
+"""Forerunner's core: constraint-based speculative transaction execution.
+
+The pipeline (paper §4):
+
+1. :mod:`repro.core.trace` — instrumented pre-execution producing an EVM
+   instruction trace plus read/write sets.
+2. :mod:`repro.core.translate` — trace -> S-EVM register IR: complex
+   instruction decomposition, stack-to-SSA translation, register
+   promotion, control-flow elimination, with control and data guards
+   generated along the way (CD-Equiv constraints).
+3. :mod:`repro.core.optimize` — constant folding, common-subexpression
+   elimination, context-access promotion, dead-code elimination,
+   rollback-free write reordering.
+4. :mod:`repro.core.memoize` — shortcut nodes over compute segments.
+5. :mod:`repro.core.ap` / :mod:`repro.core.merge` — accelerated programs
+   (merged constraint sets + fast paths + merged shortcuts) and their
+   execution engine with fallback.
+6. :mod:`repro.core.predictor` / :mod:`repro.core.speculator` /
+   :mod:`repro.core.prefetcher` — the off-critical-path machinery.
+7. :mod:`repro.core.accelerator` / :mod:`repro.core.node` — the
+   on-critical-path executor and full node assemblies.
+"""
+
+from repro.core.trace import TxTracer, TraceResult, trace_transaction
+from repro.core.sevm import SInstr, Reg, SKind
+from repro.core.ap import AcceleratedProgram, APPath
+from repro.core.speculator import Speculator, synthesize_path
+from repro.core.accelerator import TransactionAccelerator
+from repro.core.node import BaselineNode, ForerunnerNode
+
+__all__ = [
+    "TxTracer", "TraceResult", "trace_transaction",
+    "SInstr", "Reg", "SKind",
+    "AcceleratedProgram", "APPath",
+    "Speculator", "synthesize_path",
+    "TransactionAccelerator",
+    "BaselineNode", "ForerunnerNode",
+]

@@ -1,0 +1,212 @@
+"""Transaction execution accelerator: the on-critical-path component.
+
+Runs each transaction through its accelerated program when one exists;
+falls back to full EVM execution on constraint violation or when no AP
+is available.  The transaction *envelope* (nonce check, gas purchase,
+value transfer, refund, coinbase fee) is executed natively, mirroring
+:meth:`repro.evm.interpreter.EVM.execute_transaction` step for step, so
+the resulting state transition is bit-identical to a plain execution —
+which the Merkle-root checks in the test suite and benches verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core import costmodel
+from repro.core.ap import AcceleratedProgram
+from repro.core.ap_exec import APExecStats, execute_ap
+from repro.core.costmodel import CostTally
+from repro.errors import ConstraintViolation, InsufficientBalance
+from repro.evm.interpreter import EVM, ExecutionResult
+from repro.state.statedb import StateDB
+
+#: Outcome labels (Table 3's prediction-outcome breakdown).
+OUTCOME_NO_AP = "no_ap"          # heard/unheard but nothing speculated
+OUTCOME_VIOLATED = "violated"    # AP existed, no constraint set matched
+OUTCOME_SATISFIED = "satisfied"  # fast path executed
+
+
+@dataclass
+class AcceleratedReceipt:
+    """Execution result plus acceleration telemetry for one transaction."""
+
+    result: ExecutionResult
+    outcome: str
+    tally: CostTally
+    ap_stats: Optional[APExecStats] = None
+    #: Ids of speculated contexts whose full read set matched reality
+    #: (non-empty => the traditional "perfect prediction" would have hit).
+    perfect_context_ids: Tuple[int, ...] = ()
+    used_ap: bool = False
+
+
+def context_matches(read_set: Dict[tuple, int], state: StateDB,
+                    header: BlockHeader,
+                    blockhash_fn: Callable[[int], int]) -> bool:
+    """Is the actual context identical to a speculated one (on its
+    read set)?  This is the traditional speculative-execution test."""
+    for (kind, key), expected in read_set.items():
+        if kind == "storage":
+            actual = state.get_storage(key[0], key[1])
+        elif kind == "balance":
+            actual = state.get_balance(key[0])
+        elif kind == "header":
+            actual = getattr(header, key[0])
+        elif kind == "blockhash":
+            actual = blockhash_fn(key[0])
+        elif kind == "extcodesize":
+            actual = len(state.get_code(key[0]))
+        else:
+            return False
+        if actual != expected:
+            return False
+    return True
+
+
+class TransactionAccelerator:
+    """Executes transactions, preferring accelerated programs."""
+
+    def __init__(self, blockhash_fn: Optional[Callable[[int], int]] = None
+                 ) -> None:
+        self.blockhash_fn = blockhash_fn or (lambda n: 0)
+
+    # -- plain path ---------------------------------------------------------
+
+    def execute_plain(self, tx: Transaction, header: BlockHeader,
+                      state: StateDB,
+                      fixed_cost: int = costmodel.TX_FIXED
+                      ) -> AcceleratedReceipt:
+        """Full EVM execution with cost accounting."""
+        io_before = state.disk.stats.cost_units
+        evm = EVM(state, header, tx, blockhash_fn=self.blockhash_fn)
+        result = evm.execute_transaction()
+        tally = costmodel.evm_execution_cost(
+            evm.instruction_count,
+            state.disk.stats.cost_units - io_before,
+            fixed=fixed_cost,
+            write_ops=evm.write_op_count)
+        return AcceleratedReceipt(result=result, outcome=OUTCOME_NO_AP,
+                                  tally=tally)
+
+    # -- accelerated path ------------------------------------------------------
+
+    # pylint: disable=too-many-locals
+    def execute(self, tx: Transaction, header: BlockHeader, state: StateDB,
+                ap: Optional[AcceleratedProgram]) -> AcceleratedReceipt:
+        """Execute ``tx``: AP fast path if possible, else fallback."""
+        if ap is None or ap.root is None:
+            return self.execute_plain(tx, header, state)
+
+        tally = CostTally(fixed_units=costmodel.AP_FIXED)
+        io_before = state.disk.stats.cost_units
+        base_snap = state.snapshot()
+        logs_mark = len(state.logs)
+        try:
+            receipt = self._run_envelope_and_ap(
+                tx, header, state, ap, tally, logs_mark)
+        except ConstraintViolation:
+            state.revert_to(base_snap)
+            del state.logs[logs_mark:]
+            receipt = self.execute_plain(
+                tx, header, state, fixed_cost=costmodel.FALLBACK_FIXED)
+            receipt.outcome = OUTCOME_VIOLATED
+            # The aborted constraint check's work counts too.
+            receipt.tally.cpu_units += tally.cpu_units
+            receipt.tally.fixed_units += tally.fixed_units
+            # A perfectly-matching context would have satisfied its own
+            # guards, so a violation is never a perfect prediction.
+            receipt.perfect_context_ids = ()
+            return receipt
+        tally.io_units += state.disk.stats.cost_units - io_before
+        receipt.tally = tally
+        return receipt
+
+    def _run_envelope_and_ap(self, tx: Transaction, header: BlockHeader,
+                             state: StateDB, ap: AcceleratedProgram,
+                             tally: CostTally,
+                             logs_mark: int) -> AcceleratedReceipt:
+        """Mirror of EVM.execute_transaction with the call replaced by
+        AP execution.  Raises ConstraintViolation to trigger fallback."""
+        intrinsic = tx.intrinsic_gas()
+        if tx.gas_limit < intrinsic:
+            return AcceleratedReceipt(
+                result=ExecutionResult(False, 0, error="intrinsic gas too low"),
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+        if state.get_nonce(tx.sender) != tx.nonce:
+            return AcceleratedReceipt(
+                result=ExecutionResult(False, 0, error="bad nonce"),
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+        try:
+            state.sub_balance(tx.sender, tx.gas_limit * tx.gas_price)
+        except InsufficientBalance:
+            return AcceleratedReceipt(
+                result=ExecutionResult(False, 0, error="cannot afford gas"),
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+        state.increment_nonce(tx.sender)
+
+        call_snap = state.snapshot()
+        if tx.value:
+            try:
+                state.sub_balance(tx.sender, tx.value)
+                state.add_balance(tx.to, tx.value)
+            except InsufficientBalance:
+                # Mirror EVM._call: the top-level call fails but the
+                # intrinsic gas stays consumed.
+                state.revert_to(call_snap)
+                gas_used = intrinsic
+                state.add_balance(
+                    tx.sender, (tx.gas_limit - gas_used) * tx.gas_price)
+                state.add_balance(header.coinbase, gas_used * tx.gas_price)
+                return AcceleratedReceipt(
+                    result=ExecutionResult(False, gas_used, b""),
+                    outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+
+        outcome = execute_ap(ap, state, header, tx, tally=tally,
+                             blockhash_fn=self.blockhash_fn)
+        if not outcome.success:
+            state.revert_to(call_snap)
+        gas_used = outcome.gas_used
+        gas_left = tx.gas_limit - gas_used
+        state.add_balance(tx.sender, gas_left * tx.gas_price)
+        state.add_balance(header.coinbase, gas_used * tx.gas_price)
+        logs = [(e.address, e.topics, e.data)
+                for e in state.logs[logs_mark:]]
+        result = ExecutionResult(outcome.success, gas_used,
+                                 outcome.return_data, logs)
+        return AcceleratedReceipt(
+            result=result, outcome=OUTCOME_SATISFIED, tally=tally,
+            ap_stats=outcome.stats, used_ap=True,
+            perfect_context_ids=self._classify_from_observation(
+                ap, outcome.observed_reads, header))
+
+    def _classify_from_observation(
+            self, ap: AcceleratedProgram,
+            observed_reads: Dict[tuple, int],
+            header: BlockHeader) -> Tuple[int, ...]:
+        """Which speculated contexts matched reality perfectly.
+
+        Uses the values the AP execution itself observed — no extra
+        state reads, no cache-warming side effects.  A path is a
+        perfect prediction when every entry of its speculated read set
+        equals the observed value (header fields are checked against
+        the actual header even if the AP never read them via a node,
+        since promotion may have folded duplicate reads).
+        """
+        perfect = []
+        for path in ap.paths:
+            matched = True
+            for (kind, key), expected in path.read_set.items():
+                if kind == "header":
+                    actual = getattr(header, key[0])
+                else:
+                    actual = observed_reads.get((kind, key))
+                if actual != expected:
+                    matched = False
+                    break
+            if matched:
+                perfect.append(path.context_id)
+        return tuple(dict.fromkeys(perfect))

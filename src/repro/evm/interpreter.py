@@ -1,0 +1,920 @@
+"""The EVM bytecode interpreter.
+
+A faithful (simplified) stack machine covering the instruction subset
+listed in ``repro/evm/opcodes.py``: 256-bit arithmetic, comparisons,
+bitwise logic, SHA3, environment/block information, volatile memory,
+persistent storage, control flow, logging, internal message calls, and
+gas metering with revert semantics.
+
+Simplifications (documented in DESIGN.md): flat SSTORE/EXP costs so that
+gas consumed along a fixed control path is context-independent, linear
+memory-expansion cost, and no precompiles/CREATE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.constants import CALL_DEPTH_LIMIT
+from repro.errors import (
+    EVMError,
+    InsufficientBalance,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    Revert,
+    WriteProtection,
+)
+from repro.evm import opcodes
+from repro.evm.memory import Memory
+from repro.evm.opcodes import Op
+from repro.evm.stack import Stack
+from repro.evm.tracing import (
+    KIND_BALANCE,
+    KIND_BLOCKHASH,
+    KIND_CODESIZE,
+    KIND_HEADER,
+    KIND_LOG,
+    KIND_STORAGE,
+    StepRecord,
+    Tracer,
+)
+from repro.state.statedb import StateDB
+from repro.utils.hashing import keccak_int
+from repro.utils.words import (
+    bytes_to_int,
+    int_to_bytes32,
+    to_signed,
+    to_unsigned,
+    u256,
+)
+
+#: Gas charged per 32-byte word of memory expansion (linearized).
+MEMORY_WORD_GAS = 3
+#: Gas charged per 32-byte word hashed by SHA3.
+SHA3_WORD_GAS = 6
+
+
+@dataclass
+class Message:
+    """Parameters of one (possibly internal) call.
+
+    ``to`` is the *storage context* (the account whose storage SLOAD/
+    SSTORE touch); ``code_address`` is where the executing bytecode
+    lives.  They differ only for DELEGATECALL.  ``static`` forbids any
+    state modification (STATICCALL semantics).
+    """
+
+    sender: int
+    to: int
+    value: int
+    data: bytes
+    gas: int
+    depth: int = 0
+    code_address: Optional[int] = None
+    static: bool = False
+
+    @property
+    def code_at(self) -> int:
+        return self.code_address if self.code_address is not None \
+            else self.to
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a full transaction execution."""
+
+    success: bool
+    gas_used: int
+    return_data: bytes = b""
+    logs: List[Tuple[int, Tuple[int, ...], bytes]] = field(default_factory=list)
+    error: str = ""
+
+
+class _Frame:
+    """Mutable state of one executing call."""
+
+    __slots__ = ("msg", "code", "stack", "memory", "pc", "gas",
+                 "jumpdests", "frame_id", "returned")
+
+    def __init__(self, msg: Message, code: bytes, frame_id: int) -> None:
+        self.msg = msg
+        self.code = code
+        self.stack = Stack()
+        self.memory = Memory()
+        self.pc = 0
+        self.gas = msg.gas
+        self.jumpdests = _valid_jumpdests(code)
+        self.frame_id = frame_id
+        self.returned = b""
+
+
+_JUMPDEST_CACHE: dict = {}
+
+
+def _valid_jumpdests(code: bytes) -> frozenset:
+    """Positions of JUMPDEST opcodes, skipping PUSH immediates.
+
+    Cached per code blob: the same contracts execute over and over
+    (real clients cache this analysis too).
+    """
+    cached = _JUMPDEST_CACHE.get(code)
+    if cached is not None:
+        return cached
+    dests = set()
+    i = 0
+    n = len(code)
+    while i < n:
+        op = code[i]
+        if op == Op.JUMPDEST:
+            dests.add(i)
+        if opcodes.is_push(op):
+            i += opcodes.push_size(op)
+        i += 1
+    result = frozenset(dests)
+    if len(_JUMPDEST_CACHE) < 4096:
+        _JUMPDEST_CACHE[code] = result
+    return result
+
+
+class EVM:
+    """Executes messages against a StateDB in a block context.
+
+    One EVM instance executes one transaction; create a fresh instance
+    (they are cheap) per transaction.
+    """
+
+    def __init__(
+        self,
+        state: StateDB,
+        header: BlockHeader,
+        tx: Transaction,
+        tracer: Optional[Tracer] = None,
+        blockhash_fn: Optional[Callable[[int], int]] = None,
+    ) -> None:
+        self.state = state
+        self.header = header
+        self.tx = tx
+        self.tracer = tracer or Tracer()
+        self.blockhash_fn = blockhash_fn or (lambda n: 0)
+        self._step_index = 0
+        self._next_frame_id = 0
+        #: Count of executed instructions (cost-model input).
+        self.instruction_count = 0
+        #: Count of state-write operations (SSTORE/LOG): these carry
+        #: journaling/commit work beyond plain interpretation.
+        self.write_op_count = 0
+
+    # -- transaction entry point -------------------------------------------
+
+    def execute_transaction(self) -> ExecutionResult:
+        """Run the full transaction protocol: fee purchase, call, refund."""
+        tx = self.tx
+        intrinsic = tx.intrinsic_gas()
+        if tx.gas_limit < intrinsic:
+            return ExecutionResult(False, 0, error="intrinsic gas too low")
+        if self.state.get_nonce(tx.sender) != tx.nonce:
+            return ExecutionResult(False, 0, error="bad nonce")
+        try:
+            self.state.sub_balance(tx.sender, tx.gas_limit * tx.gas_price)
+        except InsufficientBalance:
+            return ExecutionResult(False, 0, error="cannot afford gas")
+        self.state.increment_nonce(tx.sender)
+
+        snap = self.state.snapshot()
+        logs_mark = len(self.state.logs)
+        try:
+            if tx.to == 0:
+                # Contract deployment: tx.data is the init code.
+                success, ret, gas_left = self._create(
+                    creator=tx.sender,
+                    creator_nonce=tx.nonce,
+                    value=tx.value,
+                    init_code=tx.data,
+                    gas=tx.gas_limit - intrinsic,
+                    depth=0)
+            else:
+                msg = Message(
+                    sender=tx.sender, to=tx.to, value=tx.value,
+                    data=tx.data, gas=tx.gas_limit - intrinsic,
+                )
+                success, ret, gas_left = self._call(msg)
+        except EVMError:
+            success, ret, gas_left = False, b"", 0
+        if not success:
+            self.state.revert_to(snap)
+        gas_used = tx.gas_limit - gas_left
+        # Refund unused gas; pay the miner.
+        self.state.add_balance(tx.sender, gas_left * tx.gas_price)
+        self.state.add_balance(self.header.coinbase, gas_used * tx.gas_price)
+        logs = [
+            (entry.address, entry.topics, entry.data)
+            for entry in self.state.logs[logs_mark:]
+        ]
+        return ExecutionResult(success, gas_used, ret, logs)
+
+    # -- message calls ------------------------------------------------------
+
+    def _call(self, msg: Message) -> Tuple[bool, bytes, int]:
+        """Execute one message call; returns (success, return_data, gas_left)."""
+        if msg.depth > CALL_DEPTH_LIMIT:
+            return False, b"", 0
+        snap = self.state.snapshot()
+        if msg.value and msg.code_address is None:
+            try:
+                self.state.sub_balance(msg.sender, msg.value)
+            except InsufficientBalance:
+                return False, b"", msg.gas
+            self.state.add_balance(msg.to, msg.value)
+        code = self.state.get_code(msg.code_at)
+        if not code:
+            # Plain value transfer.
+            return True, b"", msg.gas
+        frame = _Frame(msg, code, self._next_frame_id)
+        parent_id = self._next_frame_id - 1 if self._next_frame_id else None
+        self._next_frame_id += 1
+        self.tracer.on_call_enter(frame.frame_id, parent_id, msg.to, msg.depth)
+        try:
+            ret = self._run(frame)
+            self.tracer.on_call_exit(frame.frame_id, True, ret)
+            return True, ret, frame.gas
+        except Revert as exc:
+            self.state.revert_to(snap)
+            self.tracer.on_call_exit(frame.frame_id, False, exc.data)
+            return False, exc.data, frame.gas
+        except EVMError:
+            self.state.revert_to(snap)
+            self.tracer.on_call_exit(frame.frame_id, False, b"")
+            return False, b"", 0
+
+    def _create(self, creator: int, creator_nonce: int, value: int,
+                init_code: bytes, gas: int, depth: int
+                ) -> Tuple[bool, bytes, int]:
+        """Deploy a contract: run ``init_code``; its return value
+        becomes the new account's runtime code.
+
+        Returns (success, 20-byte-ish address as bytes32, gas_left);
+        on failure the address is empty and state reverts.
+        """
+        new_address = keccak_int(
+            int_to_bytes32(creator) + int_to_bytes32(creator_nonce)
+        ) % (1 << 160)
+        snap = self.state.snapshot()
+        if self.state.get_code(new_address):
+            return False, b"", 0  # address collision
+        self.state.create_account(new_address)
+        if value:
+            try:
+                self.state.sub_balance(creator, value)
+            except InsufficientBalance:
+                self.state.revert_to(snap)
+                return False, b"", gas
+            self.state.add_balance(new_address, value)
+        msg = Message(sender=creator, to=new_address, value=value,
+                      data=b"", gas=gas, depth=depth,
+                      code_address=new_address)
+        frame = _Frame(msg, init_code, self._next_frame_id)
+        self._next_frame_id += 1
+        self.tracer.on_call_enter(frame.frame_id, None, new_address,
+                                  depth)
+        try:
+            runtime = self._run(frame)
+            self.state.set_code(new_address, runtime)
+            self.tracer.on_call_exit(frame.frame_id, True, runtime)
+            return True, int_to_bytes32(new_address), frame.gas
+        except Revert as exc:
+            self.state.revert_to(snap)
+            self.tracer.on_call_exit(frame.frame_id, False, exc.data)
+            return False, b"", frame.gas
+        except EVMError:
+            self.state.revert_to(snap)
+            self.tracer.on_call_exit(frame.frame_id, False, b"")
+            return False, b"", 0
+
+    # -- gas helpers ----------------------------------------------------------
+
+    def _charge(self, frame: _Frame, amount: int) -> None:
+        if frame.gas < amount:
+            frame.gas = 0
+            raise OutOfGas(f"need {amount} gas")
+        frame.gas -= amount
+
+    def _charge_memory(self, frame: _Frame, offset: int, size: int) -> None:
+        words = frame.memory.expansion_words(offset, size)
+        if words:
+            self._charge(frame, words * MEMORY_WORD_GAS)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def _run(self, frame: _Frame) -> bytes:
+        """Interpreter loop for one frame; returns the frame's output."""
+        code = frame.code
+        n = len(code)
+        while frame.pc < n:
+            op = code[frame.pc]
+            try:
+                info = opcodes.OPCODES[op]
+            except KeyError:
+                raise InvalidOpcode(f"undefined opcode {op:#04x}")
+            result = self._execute_op(frame, op, info)
+            if result is not None:
+                return result
+        return b""
+
+    def _emit(self, frame: _Frame, pc: int, op: int, name: str,
+              inputs: Tuple[int, ...], output: Optional[int],
+              gas_cost: int, **extra) -> None:
+        """Record one executed instruction with the tracer."""
+        self.instruction_count += 1
+        record = StepRecord(
+            index=self._step_index, depth=frame.msg.depth,
+            frame_id=frame.frame_id, code_address=frame.msg.to,
+            pc=pc, op=op, name=name, inputs=inputs, output=output,
+            gas_cost=gas_cost, extra=extra,
+        )
+        self._step_index += 1
+        self.tracer.on_step(record)
+
+    # pylint: disable=too-many-branches,too-many-statements
+    def _execute_op(self, frame: _Frame, op: int,
+                    info: opcodes.OpInfo) -> Optional[bytes]:
+        """Execute one instruction; returns frame output on STOP/RETURN."""
+        stack = frame.stack
+        state = self.state
+        pc = frame.pc
+        self._charge(frame, info.gas)
+        frame.pc += 1  # default advance; jumps overwrite
+
+        # --- stack manipulation -------------------------------------------
+        if opcodes.is_push(op):
+            size = opcodes.push_size(op)
+            value = bytes_to_int(frame.code[pc + 1:pc + 1 + size])
+            stack.push(value)
+            frame.pc = pc + 1 + size
+            self._emit(frame, pc, op, info.name, (), value, info.gas)
+            return None
+        if opcodes.is_dup(op):
+            depth = op - 0x80 + 1
+            value = stack.peek(depth - 1)
+            stack.dup(depth)
+            self._emit(frame, pc, op, info.name, (value,), value, info.gas)
+            return None
+        if opcodes.is_swap(op):
+            depth = op - 0x90 + 1
+            stack.swap(depth)
+            self._emit(frame, pc, op, info.name, (), None, info.gas)
+            return None
+
+        # --- everything else ------------------------------------------------
+        handler = _HANDLERS.get(op)
+        if handler is None:
+            raise InvalidOpcode(f"unimplemented opcode {info.name}")
+        return handler(self, frame, pc, info)
+
+
+# ---------------------------------------------------------------------------
+# Opcode handlers.  Each returns None to continue, or bytes to end the frame.
+# ---------------------------------------------------------------------------
+
+_HANDLERS = {}
+
+
+def _handler(op: Op):
+    def register(fn):
+        _HANDLERS[int(op)] = fn
+        return fn
+    return register
+
+
+def _binary(op: Op, compute):
+    """Register a two-operand pure arithmetic/logic handler."""
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        a = frame.stack.pop()
+        b = frame.stack.pop()
+        value = compute(a, b)
+        frame.stack.push(value)
+        evm._emit(frame, pc, int(op), info.name, (a, b), value, info.gas)
+    return run
+
+
+def _unary(op: Op, compute):
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        a = frame.stack.pop()
+        value = compute(a)
+        frame.stack.push(value)
+        evm._emit(frame, pc, int(op), info.name, (a,), value, info.gas)
+    return run
+
+
+def _ternary(op: Op, compute):
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        a = frame.stack.pop()
+        b = frame.stack.pop()
+        c = frame.stack.pop()
+        value = compute(a, b, c)
+        frame.stack.push(value)
+        evm._emit(frame, pc, int(op), info.name, (a, b, c), value, info.gas)
+    return run
+
+
+# Pure computation semantics (shared with constant folding in the
+# specializer — repro.core.optimize imports COMPUTE_SEMANTICS).
+def _div(a, b):
+    return a // b if b else 0
+
+
+def _sdiv(a, b):
+    if b == 0:
+        return 0
+    sa, sb = to_signed(a), to_signed(b)
+    q = abs(sa) // abs(sb)
+    return to_unsigned(-q if (sa < 0) != (sb < 0) else q)
+
+
+def _mod(a, b):
+    return a % b if b else 0
+
+
+def _smod(a, b):
+    if b == 0:
+        return 0
+    sa, sb = to_signed(a), to_signed(b)
+    r = abs(sa) % abs(sb)
+    return to_unsigned(-r if sa < 0 else r)
+
+
+def _signextend(size, value):
+    if size >= 32:
+        return value
+    bit = 8 * (size + 1) - 1
+    mask = (1 << (bit + 1)) - 1
+    if value & (1 << bit):
+        return u256(value | ~mask)
+    return value & mask
+
+
+def _byte(pos, value):
+    if pos >= 32:
+        return 0
+    return (value >> (8 * (31 - pos))) & 0xFF
+
+
+def _sar(shift, value):
+    if shift >= 256:
+        return u256(-1) if value >= 2**255 else 0
+    return to_unsigned(to_signed(value) >> shift)
+
+
+COMPUTE_SEMANTICS = {
+    int(Op.ADD): lambda a, b: u256(a + b),
+    int(Op.MUL): lambda a, b: u256(a * b),
+    int(Op.SUB): lambda a, b: u256(a - b),
+    int(Op.DIV): _div,
+    int(Op.SDIV): _sdiv,
+    int(Op.MOD): _mod,
+    int(Op.SMOD): _smod,
+    int(Op.ADDMOD): lambda a, b, m: (a + b) % m if m else 0,
+    int(Op.MULMOD): lambda a, b, m: (a * b) % m if m else 0,
+    int(Op.EXP): lambda a, b: pow(a, b, 2**256),
+    int(Op.SIGNEXTEND): _signextend,
+    int(Op.LT): lambda a, b: 1 if a < b else 0,
+    int(Op.GT): lambda a, b: 1 if a > b else 0,
+    int(Op.SLT): lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    int(Op.SGT): lambda a, b: 1 if to_signed(a) > to_signed(b) else 0,
+    int(Op.EQ): lambda a, b: 1 if a == b else 0,
+    int(Op.ISZERO): lambda a: 1 if a == 0 else 0,
+    int(Op.AND): lambda a, b: a & b,
+    int(Op.OR): lambda a, b: a | b,
+    int(Op.XOR): lambda a, b: a ^ b,
+    int(Op.NOT): lambda a: u256(~a),
+    int(Op.BYTE): _byte,
+    int(Op.SHL): lambda s, v: u256(v << s) if s < 256 else 0,
+    int(Op.SHR): lambda s, v: v >> s if s < 256 else 0,
+    int(Op.SAR): _sar,
+}
+
+for _code, _fn in COMPUTE_SEMANTICS.items():
+    _info = opcodes.OPCODES[_code]
+    if _info.pops == 1:
+        _unary(Op(_code), _fn)
+    elif _info.pops == 2:
+        _binary(Op(_code), _fn)
+    else:
+        _ternary(Op(_code), _fn)
+
+
+# --- SHA3 -------------------------------------------------------------------
+
+@_handler(Op.SHA3)
+def _op_sha3(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, offset, size)
+    evm._charge(frame, SHA3_WORD_GAS * ((size + 31) // 32))
+    data = frame.memory.read(offset, size)
+    value = keccak_int(data)
+    frame.stack.push(value)
+    evm._emit(frame, pc, int(Op.SHA3), info.name, (offset, size), value,
+              info.gas, mem_offset=offset, mem_size=size, data=data)
+
+
+# --- environment / transaction constants --------------------------------------
+
+def _env_const(op: Op, getter):
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        value = getter(evm, frame)
+        frame.stack.push(value)
+        evm._emit(frame, pc, int(op), info.name, (), value, info.gas)
+    return run
+
+
+_env_const(Op.ADDRESS, lambda evm, f: f.msg.to)
+_env_const(Op.ORIGIN, lambda evm, f: evm.tx.sender)
+_env_const(Op.CALLER, lambda evm, f: f.msg.sender)
+_env_const(Op.CALLVALUE, lambda evm, f: f.msg.value)
+_env_const(Op.CALLDATASIZE, lambda evm, f: len(f.msg.data))
+_env_const(Op.CODESIZE, lambda evm, f: len(f.code))
+_env_const(Op.GASPRICE, lambda evm, f: evm.tx.gas_price)
+_env_const(Op.CHAINID, lambda evm, f: evm.header.chain_id)
+_env_const(Op.PC, lambda evm, f: f.pc - 1)
+_env_const(Op.MSIZE, lambda evm, f: len(f.memory))
+_env_const(Op.GAS, lambda evm, f: f.gas)
+
+
+@_handler(Op.CALLDATALOAD)
+def _op_calldataload(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    data = frame.msg.data
+    word = data[offset:offset + 32]
+    value = bytes_to_int(word + b"\x00" * (32 - len(word)))
+    frame.stack.push(value)
+    evm._emit(frame, pc, int(Op.CALLDATALOAD), info.name, (offset,), value,
+              info.gas, data_offset=offset)
+
+
+@_handler(Op.CALLDATACOPY)
+def _op_calldatacopy(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    dest = frame.stack.pop()
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, dest, size)
+    chunk = frame.msg.data[offset:offset + size]
+    chunk += b"\x00" * (size - len(chunk))
+    frame.memory.write(dest, chunk)
+    evm._emit(frame, pc, int(Op.CALLDATACOPY), info.name,
+              (dest, offset, size), None, info.gas,
+              mem_offset=dest, mem_size=size, data=chunk)
+
+
+# --- context reads ---------------------------------------------------------------
+
+def _header_read(op: Op, field_name: str):
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        value = getattr(evm.header, field_name)
+        frame.stack.push(value)
+        evm.tracer.on_context_read(KIND_HEADER, (field_name,), value)
+        evm._emit(frame, pc, int(op), info.name, (), value, info.gas,
+                  read_kind=KIND_HEADER, read_key=(field_name,))
+    return run
+
+
+_header_read(Op.TIMESTAMP, "timestamp")
+_header_read(Op.NUMBER, "number")
+_header_read(Op.COINBASE, "coinbase")
+_header_read(Op.DIFFICULTY, "difficulty")
+_header_read(Op.GASLIMIT, "gas_limit")
+
+
+@_handler(Op.BLOCKHASH)
+def _op_blockhash(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    number = frame.stack.pop()
+    value = evm.blockhash_fn(number)
+    frame.stack.push(value)
+    evm.tracer.on_context_read(KIND_BLOCKHASH, (number,), value)
+    evm._emit(frame, pc, int(Op.BLOCKHASH), info.name, (number,), value,
+              info.gas, read_kind=KIND_BLOCKHASH, read_key=(number,))
+
+
+@_handler(Op.BALANCE)
+def _op_balance(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    address = frame.stack.pop()
+    value = evm.state.get_balance(address)
+    frame.stack.push(value)
+    evm.tracer.on_context_read(KIND_BALANCE, (address,), value)
+    evm._emit(frame, pc, int(Op.BALANCE), info.name, (address,), value,
+              info.gas, read_kind=KIND_BALANCE, read_key=(address,))
+
+
+@_handler(Op.SELFBALANCE)
+def _op_selfbalance(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    value = evm.state.get_balance(frame.msg.to)
+    frame.stack.push(value)
+    evm.tracer.on_context_read(KIND_BALANCE, (frame.msg.to,), value)
+    evm._emit(frame, pc, int(Op.SELFBALANCE), info.name, (), value,
+              info.gas, read_kind=KIND_BALANCE, read_key=(frame.msg.to,))
+
+
+@_handler(Op.EXTCODESIZE)
+def _op_extcodesize(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    address = frame.stack.pop()
+    value = len(evm.state.get_code(address))
+    frame.stack.push(value)
+    evm.tracer.on_context_read(KIND_CODESIZE, (address,), value)
+    evm._emit(frame, pc, int(Op.EXTCODESIZE), info.name, (address,), value,
+              info.gas, read_kind=KIND_CODESIZE, read_key=(address,))
+
+
+# --- memory ---------------------------------------------------------------------
+
+@_handler(Op.POP)
+def _op_pop(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    value = frame.stack.pop()
+    evm._emit(frame, pc, int(Op.POP), info.name, (value,), None, info.gas)
+
+
+@_handler(Op.MLOAD)
+def _op_mload(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    evm._charge_memory(frame, offset, 32)
+    value = frame.memory.load_word(offset)
+    frame.stack.push(value)
+    evm._emit(frame, pc, int(Op.MLOAD), info.name, (offset,), value,
+              info.gas, mem_offset=offset, mem_size=32)
+
+
+@_handler(Op.MSTORE)
+def _op_mstore(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    value = frame.stack.pop()
+    evm._charge_memory(frame, offset, 32)
+    frame.memory.store_word(offset, value)
+    evm._emit(frame, pc, int(Op.MSTORE), info.name, (offset, value), None,
+              info.gas, mem_offset=offset, mem_size=32)
+
+
+@_handler(Op.MSTORE8)
+def _op_mstore8(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    value = frame.stack.pop()
+    evm._charge_memory(frame, offset, 1)
+    frame.memory.store_byte(offset, value)
+    evm._emit(frame, pc, int(Op.MSTORE8), info.name, (offset, value), None,
+              info.gas, mem_offset=offset, mem_size=1)
+
+
+# --- storage --------------------------------------------------------------------
+
+@_handler(Op.SLOAD)
+def _op_sload(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    slot = frame.stack.pop()
+    value = evm.state.get_storage(frame.msg.to, slot)
+    frame.stack.push(value)
+    evm.tracer.on_context_read(KIND_STORAGE, (frame.msg.to, slot), value)
+    evm._emit(frame, pc, int(Op.SLOAD), info.name, (slot,), value,
+              info.gas, read_kind=KIND_STORAGE,
+              read_key=(frame.msg.to, slot))
+
+
+@_handler(Op.SSTORE)
+def _op_sstore(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    if frame.msg.static:
+        raise WriteProtection("SSTORE inside STATICCALL")
+    slot = frame.stack.pop()
+    value = frame.stack.pop()
+    evm.state.set_storage(frame.msg.to, slot, value)
+    evm.write_op_count += 1
+    evm.tracer.on_state_write(KIND_STORAGE, (frame.msg.to, slot), value)
+    evm._emit(frame, pc, int(Op.SSTORE), info.name, (slot, value), None,
+              info.gas, write_kind=KIND_STORAGE,
+              write_key=(frame.msg.to, slot))
+
+
+# --- control flow ------------------------------------------------------------------
+
+@_handler(Op.JUMP)
+def _op_jump(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    target = frame.stack.pop()
+    if target not in frame.jumpdests:
+        raise InvalidJump(f"jump to {target}")
+    frame.pc = target
+    evm._emit(frame, pc, int(Op.JUMP), info.name, (target,), None, info.gas,
+              jump_target=target)
+
+
+@_handler(Op.JUMPI)
+def _op_jumpi(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    target = frame.stack.pop()
+    cond = frame.stack.pop()
+    taken = cond != 0
+    if taken:
+        if target not in frame.jumpdests:
+            raise InvalidJump(f"jump to {target}")
+        frame.pc = target
+    evm._emit(frame, pc, int(Op.JUMPI), info.name, (target, cond), None,
+              info.gas, jump_target=target, taken=taken)
+
+
+@_handler(Op.JUMPDEST)
+def _op_jumpdest(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    evm._emit(frame, pc, int(Op.JUMPDEST), info.name, (), None, info.gas)
+
+
+# --- logging ------------------------------------------------------------------------
+
+def _log_handler(op: Op, topic_count: int):
+    @_handler(op)
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        if frame.msg.static:
+            raise WriteProtection("LOG inside STATICCALL")
+        offset = frame.stack.pop()
+        size = frame.stack.pop()
+        topics = tuple(frame.stack.pop() for _ in range(topic_count))
+        evm._charge_memory(frame, offset, size)
+        data = frame.memory.read(offset, size)
+        evm.state.add_log(frame.msg.to, topics, data)
+        evm.write_op_count += 1
+        evm.tracer.on_state_write(KIND_LOG, (frame.msg.to,), (topics, data))
+        evm._emit(frame, pc, int(op), info.name,
+                  (offset, size) + topics, None, info.gas,
+                  mem_offset=offset, mem_size=size, data=data, topics=topics)
+    return run
+
+
+for _i in range(5):
+    _log_handler(Op(0xA0 + _i), _i)
+
+
+# --- calls and frame termination -------------------------------------------------------
+
+def _do_call(evm: EVM, frame: _Frame, pc: int, info, op: Op) -> None:
+    """Shared machinery for CALL / DELEGATECALL / STATICCALL."""
+    gas = frame.stack.pop()
+    to = frame.stack.pop()
+    if op is Op.CALL:
+        value = frame.stack.pop()
+    else:
+        value = 0
+    arg_off = frame.stack.pop()
+    arg_size = frame.stack.pop()
+    ret_off = frame.stack.pop()
+    ret_size = frame.stack.pop()
+    evm._charge_memory(frame, arg_off, arg_size)
+    evm._charge_memory(frame, ret_off, ret_size)
+    args = frame.memory.read(arg_off, arg_size)
+    forwarded = min(gas, frame.gas)
+    if op is Op.DELEGATECALL:
+        # Callee code runs in the CALLER's storage/value/sender context.
+        msg = Message(sender=frame.msg.sender, to=frame.msg.to,
+                      value=frame.msg.value, data=args, gas=forwarded,
+                      depth=frame.msg.depth + 1, code_address=to,
+                      static=frame.msg.static)
+    elif op is Op.STATICCALL:
+        msg = Message(sender=frame.msg.to, to=to, value=0, data=args,
+                      gas=forwarded, depth=frame.msg.depth + 1,
+                      static=True)
+    else:
+        if frame.msg.static and value:
+            raise WriteProtection("value transfer inside STATICCALL")
+        msg = Message(sender=frame.msg.to, to=to, value=value,
+                      data=args, gas=forwarded,
+                      depth=frame.msg.depth + 1, static=frame.msg.static)
+    # Emit the call step *before* the callee's instructions so the trace
+    # order matches execution order (the callee is inlined in the trace).
+    inputs = ((gas, to, value, arg_off, arg_size, ret_off, ret_size)
+              if op is Op.CALL
+              else (gas, to, arg_off, arg_size, ret_off, ret_size))
+    evm._emit(frame, pc, int(op), info.name, inputs, None, info.gas,
+              call_to=to, call_value=value, call_args=args,
+              call_kind=info.name, mem_offset=arg_off, mem_size=arg_size,
+              ret_offset=ret_off, ret_size=ret_size)
+    success, ret, gas_left = evm._call(msg)
+    frame.gas -= (forwarded - gas_left)
+    if ret_size:
+        padded = ret[:ret_size] + b"\x00" * max(0, ret_size - len(ret))
+        frame.memory.write(ret_off, padded)
+    frame.returned = ret
+    frame.stack.push(1 if success else 0)
+    evm._emit(frame, pc, int(op), "CALL_RESULT", (), 1 if success else 0,
+              0, call_success=success, call_return=ret,
+              ret_offset=ret_off, ret_size=ret_size)
+
+
+@_handler(Op.CALL)
+def _op_call(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    _do_call(evm, frame, pc, info, Op.CALL)
+
+
+@_handler(Op.DELEGATECALL)
+def _op_delegatecall(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    _do_call(evm, frame, pc, info, Op.DELEGATECALL)
+
+
+@_handler(Op.STATICCALL)
+def _op_staticcall(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    _do_call(evm, frame, pc, info, Op.STATICCALL)
+
+
+@_handler(Op.CODECOPY)
+def _op_codecopy(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    dest = frame.stack.pop()
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, dest, size)
+    chunk = frame.code[offset:offset + size]
+    chunk += b"\x00" * (size - len(chunk))
+    frame.memory.write(dest, chunk)
+    evm._emit(frame, pc, int(Op.CODECOPY), info.name,
+              (dest, offset, size), None, info.gas,
+              mem_offset=dest, mem_size=size, data=chunk)
+
+
+@_handler(Op.CREATE)
+def _op_create(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    if frame.msg.static:
+        raise WriteProtection("CREATE inside STATICCALL")
+    value = frame.stack.pop()
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, offset, size)
+    init_code = frame.memory.read(offset, size)
+    creator = frame.msg.to
+    nonce = evm.state.get_nonce(creator)
+    evm.state.increment_nonce(creator)
+    evm._emit(frame, pc, int(Op.CREATE), info.name,
+              (value, offset, size), None, info.gas,
+              mem_offset=offset, mem_size=size, data=init_code)
+    success, address_bytes, gas_left = evm._create(
+        creator=creator, creator_nonce=nonce, value=value,
+        init_code=init_code, gas=frame.gas,
+        depth=frame.msg.depth + 1)
+    frame.gas = gas_left if success else min(frame.gas, gas_left)
+    address = int.from_bytes(address_bytes, "big") if address_bytes \
+        else 0
+    frame.stack.push(address)
+    evm._emit(frame, pc, int(Op.CREATE), "CREATE_RESULT", (), address,
+              0, create_success=success)
+
+
+@_handler(Op.RETURNDATASIZE)
+def _op_returndatasize(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    value = len(frame.returned)
+    frame.stack.push(value)
+    evm._emit(frame, pc, int(Op.RETURNDATASIZE), info.name, (), value,
+              info.gas)
+
+
+@_handler(Op.RETURNDATACOPY)
+def _op_returndatacopy(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    dest = frame.stack.pop()
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    if offset + size > len(frame.returned):
+        raise InvalidOpcode("RETURNDATACOPY out of bounds")
+    evm._charge_memory(frame, dest, size)
+    chunk = frame.returned[offset:offset + size]
+    frame.memory.write(dest, chunk)
+    evm._emit(frame, pc, int(Op.RETURNDATACOPY), info.name,
+              (dest, offset, size), None, info.gas,
+              mem_offset=dest, mem_size=size, data=chunk,
+              src_offset=offset)
+
+
+@_handler(Op.STOP)
+def _op_stop(evm: EVM, frame: _Frame, pc: int, info) -> bytes:
+    evm._emit(frame, pc, int(Op.STOP), info.name, (), None, info.gas)
+    return b""
+
+
+@_handler(Op.RETURN)
+def _op_return(evm: EVM, frame: _Frame, pc: int, info) -> bytes:
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, offset, size)
+    data = frame.memory.read(offset, size)
+    evm._emit(frame, pc, int(Op.RETURN), info.name, (offset, size), None,
+              info.gas, mem_offset=offset, mem_size=size, data=data)
+    return data
+
+
+@_handler(Op.REVERT)
+def _op_revert(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    offset = frame.stack.pop()
+    size = frame.stack.pop()
+    evm._charge_memory(frame, offset, size)
+    data = frame.memory.read(offset, size)
+    evm._emit(frame, pc, int(Op.REVERT), info.name, (offset, size), None,
+              info.gas, mem_offset=offset, mem_size=size, data=data)
+    raise Revert(data)
+
+
+@_handler(Op.INVALID)
+def _op_invalid(evm: EVM, frame: _Frame, pc: int, info) -> None:
+    raise InvalidOpcode("INVALID opcode executed")

@@ -1,0 +1,61 @@
+"""EVM volatile memory: a byte-addressed, zero-initialized expanding array."""
+
+from __future__ import annotations
+
+from repro.utils.words import bytes_to_int, int_to_bytes32
+
+
+class Memory:
+    """Word-oriented volatile memory for one call frame.
+
+    Memory expands in 32-byte words; expansion cost is charged by the
+    interpreter via :meth:`expansion_words`.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def expansion_words(self, offset: int, size: int) -> int:
+        """Number of new 32-byte words an access at (offset, size) adds."""
+        if size == 0:
+            return 0
+        needed = (offset + size + 31) // 32
+        current = len(self.data) // 32
+        return max(0, needed - current)
+
+    def _expand(self, offset: int, size: int) -> None:
+        if size == 0:
+            return
+        needed = (offset + size + 31) // 32 * 32
+        if needed > len(self.data):
+            self.data.extend(b"\x00" * (needed - len(self.data)))
+
+    def load_word(self, offset: int) -> int:
+        """MLOAD: read the 32-byte word at ``offset``."""
+        self._expand(offset, 32)
+        return bytes_to_int(bytes(self.data[offset:offset + 32]))
+
+    def store_word(self, offset: int, value: int) -> None:
+        """MSTORE: write a 32-byte word at ``offset``."""
+        self._expand(offset, 32)
+        self.data[offset:offset + 32] = int_to_bytes32(value)
+
+    def store_byte(self, offset: int, value: int) -> None:
+        """MSTORE8: write the low byte of ``value`` at ``offset``."""
+        self._expand(offset, 1)
+        self.data[offset] = value & 0xFF
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` raw bytes starting at ``offset``."""
+        self._expand(offset, size)
+        return bytes(self.data[offset:offset + size])
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Write raw bytes starting at ``offset``."""
+        self._expand(offset, len(payload))
+        self.data[offset:offset + len(payload)] = payload

@@ -1,0 +1,70 @@
+"""Tracing hooks for the instrumented EVM (paper §4.3, preparation step).
+
+The speculator runs transactions on an *instrumented EVM* that records:
+
+* the EVM instruction trace (every executed instruction, in order),
+* the intermediate results (inputs/outputs of each instruction),
+* the read set (context variables read) and write set (variables written).
+
+This module defines the hook protocol and the raw per-step record; the
+higher-level trace assembly (read/write set objects, frame structure)
+lives in :mod:`repro.core.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+# Context-read / state-write kinds (the keys of read/write sets).
+KIND_STORAGE = "storage"        # key: (address, slot)
+KIND_BALANCE = "balance"        # key: (address,)
+KIND_HEADER = "header"          # key: (field_name,)
+KIND_BLOCKHASH = "blockhash"    # key: (block_number,)
+KIND_CODESIZE = "extcodesize"   # key: (address,)
+KIND_LOG = "log"                # write-only
+
+
+@dataclass
+class StepRecord:
+    """One executed EVM instruction with its concrete dataflow."""
+
+    index: int                 # position in the flat trace
+    depth: int                 # call depth (0 = top-level frame)
+    frame_id: int              # unique id of the owning call frame
+    code_address: int          # account whose code is executing
+    pc: int
+    op: int
+    name: str
+    inputs: Tuple[int, ...]    # popped stack operands, top-first
+    output: Optional[int]      # pushed result (None if none)
+    gas_cost: int
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Base tracer; the default hooks do nothing.
+
+    Subclasses override the hooks they need.  The interpreter invokes
+    :meth:`on_step` for every instruction *after* it executes (so the
+    record carries concrete inputs and output), and the context hooks
+    whenever execution touches the context or writes state.
+    """
+
+    def on_step(self, record: StepRecord) -> None:
+        """Called once per executed instruction."""
+
+    def on_call_enter(self, frame_id: int, parent_id: Optional[int],
+                      code_address: int, depth: int) -> None:
+        """Called when a new call frame starts executing."""
+
+    def on_call_exit(self, frame_id: int, success: bool,
+                     return_data: bytes) -> None:
+        """Called when a call frame finishes."""
+
+    def on_context_read(self, kind: str, key: tuple, value: int) -> None:
+        """Called when execution reads a context variable (read set)."""
+
+    def on_state_write(self, kind: str, key: tuple, value: Any) -> None:
+        """Called when execution writes state (write set)."""

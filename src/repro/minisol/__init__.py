@@ -1,0 +1,33 @@
+"""minisol: a Solidity-subset compiler targeting our EVM.
+
+The paper's workloads are real Solidity contracts (price oracles, DeFi).
+To reproduce their *shape* — storage mappings addressed through keccak of
+scratch memory, calldata ABI dispatch by selector, timestamp-dependent
+branches, cross-contract calls — we compile a Solidity subset to EVM
+bytecode with the same code-generation idioms solc uses (the paper's
+Figure 7 trace is recognizably the same pattern our compiler emits).
+
+Supported subset: ``uint256``/``address``/``bool`` scalars, one- and
+two-level ``mapping`` state variables, ``if``/``else``, ``while``,
+``require``/``revert``, local variables (allocated in EVM memory, so
+register promotion has something to eliminate), events, ``msg.sender``/
+``msg.value``/``block.*``, and external calls via the ``extcall``
+builtin.
+"""
+
+from repro.minisol.compiler import compile_contract, CompiledContract
+from repro.minisol.abi import (
+    encode_call,
+    selector,
+    mapping_slot,
+    decode_uint,
+)
+
+__all__ = [
+    "compile_contract",
+    "CompiledContract",
+    "encode_call",
+    "selector",
+    "mapping_slot",
+    "decode_uint",
+]

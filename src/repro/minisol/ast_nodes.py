@@ -1,0 +1,239 @@
+"""minisol abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# -- types ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalarType:
+    """uint256 / address / bool — all one EVM word at runtime."""
+
+    name: str  # "uint256" | "address" | "bool"
+
+
+@dataclass(frozen=True)
+class MappingType:
+    """mapping(scalar => scalar | mapping(...))."""
+
+    key: ScalarType
+    value: object  # ScalarType | MappingType
+
+    def depth(self) -> int:
+        inner = self.value
+        if isinstance(inner, MappingType):
+            return 1 + inner.depth()
+        return 1
+
+
+# -- expressions ------------------------------------------------------------
+
+@dataclass
+class Literal:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Name:
+    """Local variable, function argument, or scalar state variable."""
+
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class EnvRead:
+    """msg.sender, msg.value, block.timestamp, block.number,
+    block.coinbase, block.difficulty, block.gaslimit, tx.origin,
+    tx.gasprice."""
+
+    field_path: str  # e.g. "block.timestamp"
+    line: int = 0
+
+
+@dataclass
+class MappingAccess:
+    """mapping[key] or mapping[key1][key2] (as an rvalue or lvalue)."""
+
+    ident: str
+    keys: List[object]
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: object
+    right: object
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str  # "!" | "-"
+    operand: object
+    line: int = 0
+
+
+@dataclass
+class Call:
+    """Builtin call: extcall(...), balance(addr), blockhash(n), keccak(x)."""
+
+    func: str
+    args: List[object]
+    line: int = 0
+
+
+@dataclass
+class InternalCall:
+    """Call to another function of the same contract (inlined)."""
+
+    func: str
+    args: List[object]
+    line: int = 0
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass
+class VarDecl:
+    type_name: str
+    ident: str
+    init: Optional[object]
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: object  # Name | MappingAccess
+    value: object
+    line: int = 0
+
+
+@dataclass
+class If:
+    condition: object
+    then_body: List[object]
+    else_body: List[object]
+    line: int = 0
+
+
+@dataclass
+class While:
+    condition: object
+    body: List[object]
+    line: int = 0
+
+
+@dataclass
+class For:
+    """for (init; condition; post) { body }"""
+
+    init: object          # VarDecl | Assign | None
+    condition: object
+    post: object          # Assign | None
+    body: List[object]
+    line: int = 0
+
+
+@dataclass
+class Require:
+    condition: object
+    line: int = 0
+
+
+@dataclass
+class RevertStmt:
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[object]
+    line: int = 0
+
+
+@dataclass
+class Emit:
+    event: str
+    args: List[object]
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: object
+    line: int = 0
+
+
+@dataclass
+class Goto:
+    """Unconditional jump to a label (internal: inlined returns)."""
+
+    label: str
+    line: int = 0
+
+
+@dataclass
+class LabelMark:
+    """A jump target (internal: end of an inlined function body)."""
+
+    label: str
+    line: int = 0
+
+
+# -- declarations ---------------------------------------------------------------
+
+@dataclass
+class StateVar:
+    name: str
+    type: object  # ScalarType | MappingType
+    slot: int
+    public: bool = True
+
+
+@dataclass
+class EventDecl:
+    name: str
+    params: List[Tuple[str, str]]  # (type, name)
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[Tuple[str, str]]  # (type, name)
+    returns_value: bool
+    body: List[object] = field(default_factory=list)
+    view: bool = False
+    #: Private functions are not dispatched; call sites inline them.
+    private: bool = False
+
+    @property
+    def signature(self) -> str:
+        """Canonical ABI signature, e.g. ``submit(uint256,uint256)``."""
+        types = ",".join(t for t, _ in self.params)
+        return f"{self.name}({types})"
+
+
+@dataclass
+class Contract:
+    name: str
+    state_vars: List[StateVar] = field(default_factory=list)
+    events: List[EventDecl] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+
+    def state_var(self, name: str) -> Optional[StateVar]:
+        for var in self.state_vars:
+            if var.name == name:
+                return var
+        return None
+
+    def function(self, name: str) -> Optional[Function]:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        return None

@@ -1,0 +1,664 @@
+"""minisol code generation: AST -> EVM assembly text.
+
+The generated code intentionally mirrors solc's idioms so that traces
+look like the paper's Figure 7:
+
+* function dispatch compares the 4-byte calldata selector and JUMPIs,
+* mapping slots are derived by MSTOREing key and base slot into scratch
+  memory at 0x00/0x20 and hashing 64 bytes (SHA3),
+* local variables live in EVM memory (so Forerunner's register promotion
+  has real MLOAD/MSTORE traffic to eliminate),
+* ``require``/``if`` compile to conditional jumps that become control
+  constraints in the accelerated program.
+
+Memory map per call frame:
+  0x000..0x03f   scratch (mapping hashes, return value)
+  0x080..0xfff   local variables (32 bytes each, incl. inlined calls)
+  0x1000..0x10ff event data staging
+  0x1100..0x11ff outgoing extcall argument staging
+  0x1200..0x121f extcall return buffer
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CompileError
+from repro.minisol import ast_nodes as ast
+from repro.minisol.abi import event_topic, selector
+
+_LOCALS_BASE = 0x80
+_EVENT_BASE = 0x1000
+_CALL_ARGS_BASE = 0x1100
+_CALL_RET_BASE = 0x1200
+
+
+# -- inline-call AST rewriting -------------------------------------------------
+
+def _flatten(statements):
+    """Flatten nested statement lists produced by return-rewriting."""
+    for stmt in statements:
+        if isinstance(stmt, list):
+            yield from _flatten(stmt)
+        else:
+            yield stmt
+
+
+def _rewrite_expr(expr, mapping):
+    """Copy an expression with identifiers renamed per ``mapping``."""
+    if isinstance(expr, ast.Literal) or isinstance(expr, ast.EnvRead):
+        return expr
+    if isinstance(expr, ast.Name):
+        return ast.Name(mapping.get(expr.ident, expr.ident), expr.line)
+    if isinstance(expr, ast.MappingAccess):
+        return ast.MappingAccess(
+            expr.ident,
+            [_rewrite_expr(k, mapping) for k in expr.keys], expr.line)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(expr.op, _rewrite_expr(expr.left, mapping),
+                          _rewrite_expr(expr.right, mapping), expr.line)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _rewrite_expr(expr.operand, mapping),
+                         expr.line)
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.func,
+                        [_rewrite_expr(a, mapping) for a in expr.args],
+                        expr.line)
+    if isinstance(expr, ast.InternalCall):
+        return ast.InternalCall(
+            expr.func, [_rewrite_expr(a, mapping) for a in expr.args],
+            expr.line)
+    raise CompileError(
+        f"cannot inline expression {type(expr).__name__}")
+
+
+def _rewrite_stmt(stmt, mapping, uid, end_label, result_local):
+    """Copy a statement for inlining: rename locals, turn returns into
+    result-assignment + goto."""
+    if isinstance(stmt, ast.VarDecl):
+        renamed = f"{uid}.{stmt.ident}"
+        init = (_rewrite_expr(stmt.init, mapping)
+                if stmt.init is not None else None)
+        mapping[stmt.ident] = renamed
+        return ast.VarDecl(stmt.type_name, renamed, init, stmt.line)
+    if isinstance(stmt, ast.Assign):
+        return ast.Assign(_rewrite_expr(stmt.target, mapping),
+                          _rewrite_expr(stmt.value, mapping), stmt.line)
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            _rewrite_expr(stmt.condition, mapping),
+            list(_flatten(
+                _rewrite_stmt(s, mapping, uid, end_label, result_local)
+                for s in stmt.then_body)),
+            list(_flatten(
+                _rewrite_stmt(s, mapping, uid, end_label, result_local)
+                for s in stmt.else_body)),
+            stmt.line)
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            _rewrite_expr(stmt.condition, mapping),
+            list(_flatten(
+                _rewrite_stmt(s, mapping, uid, end_label, result_local)
+                for s in stmt.body)),
+            stmt.line)
+    if isinstance(stmt, ast.For):
+        init = (_rewrite_stmt(stmt.init, mapping, uid, end_label,
+                              result_local)
+                if stmt.init is not None else None)
+        post = (_rewrite_stmt(stmt.post, mapping, uid, end_label,
+                              result_local)
+                if stmt.post is not None else None)
+        return ast.For(
+            init, _rewrite_expr(stmt.condition, mapping), post,
+            list(_flatten(
+                _rewrite_stmt(s, mapping, uid, end_label, result_local)
+                for s in stmt.body)),
+            stmt.line)
+    if isinstance(stmt, ast.Require):
+        return ast.Require(_rewrite_expr(stmt.condition, mapping),
+                           stmt.line)
+    if isinstance(stmt, ast.RevertStmt):
+        return stmt
+    if isinstance(stmt, ast.Return):
+        value = (_rewrite_expr(stmt.value, mapping)
+                 if stmt.value is not None else ast.Literal(0))
+        return [ast.Assign(ast.Name(result_local), value, stmt.line),
+                ast.Goto(end_label, stmt.line)]
+    if isinstance(stmt, ast.Emit):
+        return ast.Emit(stmt.event,
+                        [_rewrite_expr(a, mapping) for a in stmt.args],
+                        stmt.line)
+    if isinstance(stmt, ast.ExprStmt):
+        return ast.ExprStmt(_rewrite_expr(stmt.expr, mapping), stmt.line)
+    raise CompileError(
+        f"cannot inline statement {type(stmt).__name__}")
+
+#: Binary operators that need the left operand on top of the stack
+#: (EVM ops consume the top as their first operand).
+_NEEDS_SWAP = {"-", "/", "%", "<", ">", "<=", ">="}
+
+_SIMPLE_OPS = {
+    "+": ["ADD"], "*": ["MUL"], "&": ["AND"], "|": ["OR"], "^": ["XOR"],
+    "==": ["EQ"], "!=": ["EQ", "ISZERO"],
+    "-": ["SUB"], "/": ["DIV"], "%": ["MOD"],
+    "<": ["LT"], ">": ["GT"],
+    "<=": ["GT", "ISZERO"], ">=": ["LT", "ISZERO"],
+    "<<": ["SHL"], ">>": ["SHR"],
+}
+
+_ENV_OPS = {
+    "msg.sender": "CALLER",
+    "msg.value": "CALLVALUE",
+    "block.timestamp": "TIMESTAMP",
+    "block.number": "NUMBER",
+    "block.coinbase": "COINBASE",
+    "block.difficulty": "DIFFICULTY",
+    "block.gaslimit": "GASLIMIT",
+    "tx.origin": "ORIGIN",
+    "tx.gasprice": "GASPRICE",
+}
+
+
+class _FunctionScope:
+    """Name resolution inside one function body."""
+
+    def __init__(self, contract: ast.Contract, fn: ast.Function) -> None:
+        self.contract = contract
+        self.fn = fn
+        self.local_offsets: Dict[str, int] = {}
+
+    def declare_local(self, name: str) -> int:
+        if name in self.local_offsets:
+            raise CompileError(f"duplicate variable {name!r}")
+        offset = _LOCALS_BASE + 32 * len(self.local_offsets)
+        self.local_offsets[name] = offset
+        return offset
+
+
+class CodeGenerator:
+    """Generates one contract's runtime bytecode (as assembly text)."""
+
+    def __init__(self, contract: ast.Contract) -> None:
+        self.contract = contract
+        self.lines: List[str] = []
+        self._label_counter = 0
+        self._inline_depth = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(text)
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}_{self._label_counter}"
+
+    def _event_signature(self, name: str) -> str:
+        for event in self.contract.events:
+            if event.name == name:
+                types = ",".join(t for t, _ in event.params)
+                return f"{name}({types})"
+        raise CompileError(f"unknown event {name!r}")
+
+    # -- top level ---------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Emit the full runtime program and return assembly source."""
+        functions = [fn for fn in self.contract.functions
+                     if not fn.private]
+        functions.extend(self._getters())
+        # Dispatcher: selector = calldata[0:4].
+        self._emit("PUSH 0")
+        self._emit("CALLDATALOAD")
+        self._emit("PUSH 224")
+        self._emit("SHR")
+        for fn in functions:
+            self._emit("DUP1")
+            self._emit(f"PUSH {selector(fn.signature)}")
+            self._emit("EQ")
+            self._emit(f"PUSH @fn_{fn.name}")
+            self._emit("JUMPI")
+        self._emit("PUSH @revert_all")
+        self._emit("JUMP")
+        for fn in functions:
+            self._generate_function(fn)
+        self._emit("revert_all:")
+        self._emit("JUMPDEST")
+        self._emit("PUSH 0")
+        self._emit("PUSH 0")
+        self._emit("REVERT")
+        return "\n".join(self.lines)
+
+    def _getters(self) -> List[ast.Function]:
+        """Auto-generated getters for public state variables."""
+        getters = []
+        for var in self.contract.state_vars:
+            if not var.public:
+                continue
+            if isinstance(var.type, ast.ScalarType):
+                params = []
+            else:
+                params = [("uint256", f"key{i}")
+                          for i in range(var.type.depth())]
+            body_expr: object
+            if params:
+                keys = [ast.Name(name) for _, name in params]
+                body_expr = ast.MappingAccess(var.name, keys)
+            else:
+                body_expr = ast.Name(var.name)
+            getters.append(ast.Function(
+                name=var.name, params=params, returns_value=True,
+                body=[ast.Return(body_expr)], view=True))
+        return getters
+
+    def _generate_function(self, fn: ast.Function) -> None:
+        self._emit(f"fn_{fn.name}:")
+        self._emit("JUMPDEST")
+        scope = _FunctionScope(self.contract, fn)
+        # Copy calldata arguments into local slots (like solc's stack
+        # copies), so parameters are assignable like any local.
+        for index, (_, pname) in enumerate(fn.params):
+            offset = scope.declare_local(pname)
+            self._emit(f"PUSH {4 + 32 * index}")
+            self._emit("CALLDATALOAD")
+            self._emit(f"PUSH {offset}")
+            self._emit("MSTORE")
+        for stmt in fn.body:
+            self._statement(scope, stmt)
+        self._emit("STOP")
+
+    # -- statements -----------------------------------------------------------------
+
+    def _statement(self, scope: _FunctionScope, stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            offset = scope.declare_local(stmt.ident)
+            if stmt.init is not None:
+                self._expression(scope, stmt.init)
+            else:
+                self._emit("PUSH 0")
+            self._emit(f"PUSH {offset}")
+            self._emit("MSTORE")
+            return
+        if isinstance(stmt, ast.Assign):
+            self._assign(scope, stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._if(scope, stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._while(scope, stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._for(scope, stmt)
+            return
+        if isinstance(stmt, ast.Goto):
+            self._emit(f"PUSH @{stmt.label}")
+            self._emit("JUMP")
+            return
+        if isinstance(stmt, ast.LabelMark):
+            self._emit(f"{stmt.label}:")
+            self._emit("JUMPDEST")
+            return
+        if isinstance(stmt, ast.Require):
+            self._expression(scope, stmt.condition)
+            self._emit("ISZERO")
+            self._emit("PUSH @revert_all")
+            self._emit("JUMPI")
+            return
+        if isinstance(stmt, ast.RevertStmt):
+            self._emit("PUSH @revert_all")
+            self._emit("JUMP")
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expression(scope, stmt.value)
+                self._emit("PUSH 0")
+                self._emit("MSTORE")
+                self._emit("PUSH 32")
+                self._emit("PUSH 0")
+                self._emit("RETURN")
+            else:
+                self._emit("STOP")
+            return
+        if isinstance(stmt, ast.Emit):
+            self._emitter(scope, stmt)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._expression(scope, stmt.expr)
+            self._emit("POP")
+            return
+        raise CompileError(f"unsupported statement {type(stmt).__name__}")
+
+    def _assign(self, scope: _FunctionScope, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            # Local variable or scalar state variable.
+            if target.ident in scope.local_offsets:
+                self._expression(scope, stmt.value)
+                self._emit(f"PUSH {scope.local_offsets[target.ident]}")
+                self._emit("MSTORE")
+                return
+            var = self.contract.state_var(target.ident)
+            if var is not None and isinstance(var.type, ast.ScalarType):
+                self._expression(scope, stmt.value)
+                self._emit(f"PUSH {var.slot}")
+                self._emit("SSTORE")
+                return
+            raise CompileError(f"cannot assign to {target.ident!r}",
+                               stmt.line)
+        if isinstance(target, ast.MappingAccess):
+            self._expression(scope, stmt.value)
+            self._mapping_slot(scope, target)
+            self._emit("SSTORE")
+            return
+        raise CompileError("invalid assignment target", stmt.line)
+
+    def _if(self, scope: _FunctionScope, stmt: ast.If) -> None:
+        else_label = self._label("else")
+        end_label = self._label("endif")
+        self._expression(scope, stmt.condition)
+        self._emit("ISZERO")
+        self._emit(f"PUSH @{else_label}")
+        self._emit("JUMPI")
+        for inner in stmt.then_body:
+            self._statement(scope, inner)
+        self._emit(f"PUSH @{end_label}")
+        self._emit("JUMP")
+        self._emit(f"{else_label}:")
+        self._emit("JUMPDEST")
+        for inner in stmt.else_body:
+            self._statement(scope, inner)
+        self._emit(f"{end_label}:")
+        self._emit("JUMPDEST")
+
+    def _while(self, scope: _FunctionScope, stmt: ast.While) -> None:
+        loop_label = self._label("loop")
+        end_label = self._label("endloop")
+        self._emit(f"{loop_label}:")
+        self._emit("JUMPDEST")
+        self._expression(scope, stmt.condition)
+        self._emit("ISZERO")
+        self._emit(f"PUSH @{end_label}")
+        self._emit("JUMPI")
+        for inner in stmt.body:
+            self._statement(scope, inner)
+        self._emit(f"PUSH @{loop_label}")
+        self._emit("JUMP")
+        self._emit(f"{end_label}:")
+        self._emit("JUMPDEST")
+
+    def _for(self, scope: _FunctionScope, stmt: ast.For) -> None:
+        loop_label = self._label("forloop")
+        end_label = self._label("endfor")
+        if stmt.init is not None:
+            self._statement(scope, stmt.init)
+        self._emit(f"{loop_label}:")
+        self._emit("JUMPDEST")
+        self._expression(scope, stmt.condition)
+        self._emit("ISZERO")
+        self._emit(f"PUSH @{end_label}")
+        self._emit("JUMPI")
+        for inner in stmt.body:
+            self._statement(scope, inner)
+        if stmt.post is not None:
+            self._statement(scope, stmt.post)
+        self._emit(f"PUSH @{loop_label}")
+        self._emit("JUMP")
+        self._emit(f"{end_label}:")
+        self._emit("JUMPDEST")
+
+    def _emitter(self, scope: _FunctionScope, stmt: ast.Emit) -> None:
+        signature = self._event_signature(stmt.event)
+        for i, arg in enumerate(stmt.args):
+            self._expression(scope, arg)
+            self._emit(f"PUSH {_EVENT_BASE + 32 * i}")
+            self._emit("MSTORE")
+        self._emit(f"PUSH {event_topic(signature)}")
+        self._emit(f"PUSH {32 * len(stmt.args)}")
+        self._emit(f"PUSH {_EVENT_BASE}")
+        self._emit("LOG1")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _expression(self, scope: _FunctionScope, expr) -> None:
+        """Emit code leaving exactly one value on the stack."""
+        if isinstance(expr, ast.Literal):
+            self._emit(f"PUSH {expr.value}")
+            return
+        if isinstance(expr, ast.Name):
+            self._name(scope, expr)
+            return
+        if isinstance(expr, ast.EnvRead):
+            self._emit(_ENV_OPS[expr.field_path])
+            return
+        if isinstance(expr, ast.MappingAccess):
+            self._mapping_slot(scope, expr)
+            self._emit("SLOAD")
+            return
+        if isinstance(expr, ast.Binary):
+            self._binary(scope, expr)
+            return
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                self._expression(scope, expr.operand)
+                self._emit("ISZERO")
+            else:  # unary minus: 0 - x
+                self._expression(scope, expr.operand)
+                self._emit("PUSH 0")
+                self._emit("SUB")
+            return
+        if isinstance(expr, ast.Call):
+            self._builtin(scope, expr)
+            return
+        if isinstance(expr, ast.InternalCall):
+            self._inline_call(scope, expr)
+            return
+        raise CompileError(f"unsupported expression {type(expr).__name__}")
+
+    def _name(self, scope: _FunctionScope, expr: ast.Name) -> None:
+        if expr.ident in scope.local_offsets:
+            self._emit(f"PUSH {scope.local_offsets[expr.ident]}")
+            self._emit("MLOAD")
+            return
+        var = self.contract.state_var(expr.ident)
+        if var is not None:
+            if not isinstance(var.type, ast.ScalarType):
+                raise CompileError(
+                    f"mapping {expr.ident!r} needs an index", expr.line)
+            self._emit(f"PUSH {var.slot}")
+            self._emit("SLOAD")
+            return
+        raise CompileError(f"unknown identifier {expr.ident!r}", expr.line)
+
+    def _binary(self, scope: _FunctionScope, expr: ast.Binary) -> None:
+        if expr.op == "&&":
+            end_label = self._label("and_end")
+            self._expression(scope, expr.left)
+            self._emit("DUP1")
+            self._emit("ISZERO")
+            self._emit(f"PUSH @{end_label}")
+            self._emit("JUMPI")
+            self._emit("POP")
+            self._expression(scope, expr.right)
+            self._emit(f"{end_label}:")
+            self._emit("JUMPDEST")
+            return
+        if expr.op == "||":
+            end_label = self._label("or_end")
+            self._expression(scope, expr.left)
+            self._emit("DUP1")
+            self._emit(f"PUSH @{end_label}")
+            self._emit("JUMPI")
+            self._emit("POP")
+            self._expression(scope, expr.right)
+            self._emit(f"{end_label}:")
+            self._emit("JUMPDEST")
+            return
+        ops = _SIMPLE_OPS.get(expr.op)
+        if ops is None:
+            raise CompileError(f"unsupported operator {expr.op!r}", expr.line)
+        self._expression(scope, expr.left)
+        self._expression(scope, expr.right)
+        if expr.op in _NEEDS_SWAP:
+            self._emit("SWAP1")
+        for mnemonic in ops:
+            self._emit(mnemonic)
+
+    def _mapping_slot(self, scope: _FunctionScope,
+                      access: ast.MappingAccess) -> None:
+        """Leave the storage slot of a (nested) mapping access on the stack.
+
+        Mirrors solc: key in scratch 0x00, slot in scratch 0x20,
+        SHA3(0x00, 0x40); nesting re-hashes with the previous digest as
+        the base slot.
+        """
+        var = self.contract.state_var(access.ident)
+        if var is None or not isinstance(var.type, ast.MappingType):
+            raise CompileError(f"{access.ident!r} is not a mapping",
+                               access.line)
+        if len(access.keys) != var.type.depth():
+            raise CompileError(
+                f"mapping {access.ident!r} expects {var.type.depth()} "
+                f"key(s), got {len(access.keys)}", access.line)
+        # First level: keccak(key1 . base_slot)
+        self._expression(scope, access.keys[0])
+        self._emit("PUSH 0")
+        self._emit("MSTORE")
+        self._emit(f"PUSH {var.slot}")
+        self._emit("PUSH 32")
+        self._emit("MSTORE")
+        self._emit("PUSH 64")
+        self._emit("PUSH 0")
+        self._emit("SHA3")
+        # Deeper levels: keccak(key_n . previous_digest)
+        for key in access.keys[1:]:
+            self._emit("PUSH 32")
+            self._emit("MSTORE")
+            self._expression(scope, key)
+            self._emit("PUSH 0")
+            self._emit("MSTORE")
+            self._emit("PUSH 64")
+            self._emit("PUSH 0")
+            self._emit("SHA3")
+
+    def _builtin(self, scope: _FunctionScope, expr: ast.Call) -> None:
+        if expr.func == "balance":
+            self._expression(scope, expr.args[0])
+            self._emit("BALANCE")
+            return
+        if expr.func == "blockhash":
+            self._expression(scope, expr.args[0])
+            self._emit("BLOCKHASH")
+            return
+        if expr.func == "keccak":
+            self._expression(scope, expr.args[0])
+            self._emit("PUSH 0")
+            self._emit("MSTORE")
+            self._emit("PUSH 32")
+            self._emit("PUSH 0")
+            self._emit("SHA3")
+            return
+        if expr.func == "extcall":
+            self._extcall(scope, expr, "CALL")
+            return
+        if expr.func == "staticread":
+            self._extcall(scope, expr, "STATICCALL")
+            return
+        if expr.func == "delegate":
+            self._extcall(scope, expr, "DELEGATECALL")
+            return
+        raise CompileError(f"unknown builtin {expr.func!r}", expr.line)
+
+    # -- internal-call inlining --------------------------------------------
+
+    def _inline_call(self, scope: _FunctionScope,
+                     expr: ast.InternalCall) -> None:
+        """Inline a same-contract function call, leaving its return
+        value (0 for void functions) on the stack.
+
+        Parameters and body locals get fresh caller-scope slots;
+        ``return`` statements become an assignment to a result slot
+        plus a jump to the inline epilogue.  Recursion is rejected (the
+        EVM subset has no frames for it, and unbounded recursion could
+        not be unrolled by the specializer anyway).
+        """
+        fn = self.contract.function(expr.func)
+        if fn is None:
+            raise CompileError(f"unknown function {expr.func!r}",
+                               expr.line)
+        if len(expr.args) != len(fn.params):
+            raise CompileError(
+                f"{fn.name} expects {len(fn.params)} argument(s), "
+                f"got {len(expr.args)}", expr.line)
+        self._inline_depth += 1
+        if self._inline_depth > 8:
+            self._inline_depth -= 1
+            raise CompileError(
+                f"inlining depth exceeded at {fn.name!r} "
+                f"(recursive call?)", expr.line)
+        uid = self._label("inl")
+        mapping: Dict[str, str] = {}
+        for (_, pname), arg in zip(fn.params, expr.args):
+            local = f"{uid}.{pname}"
+            offset = scope.declare_local(local)
+            self._expression(scope, arg)
+            self._emit(f"PUSH {offset}")
+            self._emit("MSTORE")
+            mapping[pname] = local
+        result_local = f"{uid}.ret"
+        result_offset = scope.declare_local(result_local)
+        self._emit("PUSH 0")
+        self._emit(f"PUSH {result_offset}")
+        self._emit("MSTORE")
+        end_label = f"{uid}_end"
+        body = [_rewrite_stmt(stmt, mapping, uid, end_label,
+                              result_local) for stmt in fn.body]
+        for stmt in _flatten(body):
+            self._statement(scope, stmt)
+        self._statement(scope, ast.LabelMark(end_label))
+        self._emit(f"PUSH {result_offset}")
+        self._emit("MLOAD")
+        self._inline_depth -= 1
+
+    def _extcall(self, scope: _FunctionScope, expr: ast.Call,
+                 call_op: str = "CALL") -> None:
+        """extcall/staticread/delegate(target, selector, arg...) ->
+        first return word.
+
+        Reverts the caller if the callee fails (like Solidity's checked
+        external call).  ``staticread`` uses STATICCALL (read-only),
+        ``delegate`` uses DELEGATECALL (callee code over caller storage).
+        """
+        if len(expr.args) < 2:
+            raise CompileError(
+                f"{expr.func} needs (target, selector, ...)", expr.line)
+        target = expr.args[0]
+        sel_expr = expr.args[1]
+        if not isinstance(sel_expr, ast.Literal):
+            raise CompileError("extcall selector must be a literal",
+                               expr.line)
+        call_args = expr.args[2:]
+        # Selector word: 4 bytes left-aligned.
+        self._emit(f"PUSH {sel_expr.value << 224}")
+        self._emit(f"PUSH {_CALL_ARGS_BASE}")
+        self._emit("MSTORE")
+        for i, arg in enumerate(call_args):
+            self._expression(scope, arg)
+            self._emit(f"PUSH {_CALL_ARGS_BASE + 4 + 32 * i}")
+            self._emit("MSTORE")
+        # CALL(gas, to, [value,] argoff, argsize, retoff, retsize):
+        # push operands in reverse so gas ends up on top.
+        self._emit("PUSH 32")
+        self._emit(f"PUSH {_CALL_RET_BASE}")
+        self._emit(f"PUSH {4 + 32 * len(call_args)}")
+        self._emit(f"PUSH {_CALL_ARGS_BASE}")
+        if call_op == "CALL":
+            self._emit("PUSH 0")  # value
+        self._expression(scope, target)
+        self._emit("GAS")
+        self._emit(call_op)
+        self._emit("ISZERO")
+        self._emit("PUSH @revert_all")
+        self._emit("JUMPI")
+        self._emit(f"PUSH {_CALL_RET_BASE}")
+        self._emit("MLOAD")

@@ -1,0 +1,103 @@
+"""minisol lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "contract", "function", "mapping", "uint256", "address", "bool",
+    "public", "private", "view", "returns", "if", "else", "while",
+    "for", "require", "revert", "return", "emit", "event", "true",
+    "false", "indexed",
+}
+
+# Multi-character operators first so maximal munch works.
+OPERATORS = [
+    "+=", "-=", "*=", "/=", "%=",
+    "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str       # "ident" | "number" | "string" | keyword | operator
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        """Numeric value (valid only for number tokens)."""
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize minisol ``source``; raises :class:`CompileError` on junk."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i)
+            if end < 0:
+                raise CompileError("unterminated comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i + 1
+            if ch == "0" and j < n and source[j] in "xX":
+                j += 1
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and (source[j].isdigit() or source[j] == "_"):
+                    j += 1
+            yield Token("number", source[i:j].replace("_", ""), line)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = word if word in KEYWORDS else "ident"
+            yield Token(kind, word, line)
+            i = j
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end < 0:
+                raise CompileError("unterminated string", line)
+            yield Token("string", source[i + 1:end], line)
+            i = end + 1
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token(op, op, line)
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)

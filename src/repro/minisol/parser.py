@@ -1,0 +1,371 @@
+"""minisol recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.minisol import ast_nodes as ast
+from repro.minisol.lexer import Token, tokenize
+
+#: Builtin pseudo-functions usable in expressions.
+BUILTINS = {"extcall", "staticread", "delegate", "balance", "blockhash",
+            "keccak"}
+
+#: Environment dotted reads.
+ENV_FIELDS = {
+    "msg.sender", "msg.value",
+    "block.timestamp", "block.number", "block.coinbase",
+    "block.difficulty", "block.gaslimit",
+    "tx.origin", "tx.gasprice",
+}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """Parses one ``contract`` declaration."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Optional[Token]:
+        index = self.pos + ahead
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise CompileError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise CompileError(
+                f"expected {kind!r}, found {token.text!r}", token.line)
+        return token
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.pos += 1
+            return token
+        return None
+
+    # -- declarations ----------------------------------------------------------
+
+    def parse_contract(self) -> ast.Contract:
+        self._expect("contract")
+        name = self._expect("ident").text
+        self._expect("{")
+        contract = ast.Contract(name=name)
+        next_slot = 0
+        while not self._accept("}"):
+            token = self._peek()
+            if token is None:
+                raise CompileError("unterminated contract body")
+            if token.kind == "function":
+                contract.functions.append(self._parse_function())
+            elif token.kind == "event":
+                contract.events.append(self._parse_event())
+            else:
+                var = self._parse_state_var(next_slot)
+                contract.state_vars.append(var)
+                next_slot += 1
+        return contract
+
+    def _parse_type(self):
+        token = self._next()
+        if token.kind in ("uint256", "address", "bool"):
+            return ast.ScalarType(token.kind)
+        if token.kind == "mapping":
+            self._expect("(")
+            key = self._parse_type()
+            if not isinstance(key, ast.ScalarType):
+                raise CompileError("mapping key must be scalar", token.line)
+            self._expect("=>")
+            value = self._parse_type()
+            self._expect(")")
+            return ast.MappingType(key, value)
+        raise CompileError(f"expected type, found {token.text!r}", token.line)
+
+    def _parse_state_var(self, slot: int) -> ast.StateVar:
+        var_type = self._parse_type()
+        public = bool(self._accept("public"))
+        self._accept("private")
+        name = self._expect("ident").text
+        self._expect(";")
+        return ast.StateVar(name=name, type=var_type, slot=slot, public=public)
+
+    def _parse_event(self) -> ast.EventDecl:
+        self._expect("event")
+        name = self._expect("ident").text
+        self._expect("(")
+        params = self._parse_params(allow_indexed=True)
+        self._expect(")")
+        self._expect(";")
+        return ast.EventDecl(name=name, params=params)
+
+    def _parse_params(self, allow_indexed: bool = False
+                      ) -> List[Tuple[str, str]]:
+        params: List[Tuple[str, str]] = []
+        if self._peek() is not None and self._peek().kind == ")":
+            return params
+        while True:
+            type_token = self._next()
+            if type_token.kind not in ("uint256", "address", "bool"):
+                raise CompileError(
+                    f"expected parameter type, found {type_token.text!r}",
+                    type_token.line)
+            if allow_indexed:
+                self._accept("indexed")
+            name = self._expect("ident").text
+            params.append((type_token.kind, name))
+            if not self._accept(","):
+                return params
+
+    def _parse_function(self) -> ast.Function:
+        self._expect("function")
+        name = self._expect("ident").text
+        self._expect("(")
+        params = self._parse_params()
+        self._expect(")")
+        self._accept("public")
+        private = bool(self._accept("private"))
+        view = bool(self._accept("view"))
+        returns_value = False
+        if self._accept("returns"):
+            self._expect("(")
+            ret = self._next()
+            if ret.kind not in ("uint256", "address", "bool"):
+                raise CompileError("unsupported return type", ret.line)
+            self._accept("ident")  # optional named return
+            self._expect(")")
+            returns_value = True
+        body = self._parse_block()
+        return ast.Function(name=name, params=params,
+                            returns_value=returns_value, body=body,
+                            view=view, private=private)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> List[object]:
+        self._expect("{")
+        body: List[object] = []
+        while not self._accept("}"):
+            body.append(self._parse_statement())
+        return body
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token is None:
+            raise CompileError("unexpected end of input in statement")
+        line = token.line
+        if token.kind in ("uint256", "address", "bool"):
+            self._next()
+            name = self._expect("ident").text
+            init = None
+            if self._accept("="):
+                init = self._parse_expression()
+            self._expect(";")
+            return ast.VarDecl(token.kind, name, init, line)
+        if token.kind == "if":
+            self._next()
+            self._expect("(")
+            condition = self._parse_expression()
+            self._expect(")")
+            then_body = self._parse_block()
+            else_body: List[object] = []
+            if self._accept("else"):
+                if self._peek() is not None and self._peek().kind == "if":
+                    else_body = [self._parse_statement()]
+                else:
+                    else_body = self._parse_block()
+            return ast.If(condition, then_body, else_body, line)
+        if token.kind == "while":
+            self._next()
+            self._expect("(")
+            condition = self._parse_expression()
+            self._expect(")")
+            body = self._parse_block()
+            return ast.While(condition, body, line)
+        if token.kind == "for":
+            self._next()
+            self._expect("(")
+            init = None
+            if self._peek() is not None and self._peek().kind != ";":
+                init = self._parse_simple_statement()
+            self._expect(";")
+            condition = self._parse_expression()
+            self._expect(";")
+            post = None
+            if self._peek() is not None and self._peek().kind != ")":
+                post = self._parse_simple_statement()
+            self._expect(")")
+            body = self._parse_block()
+            return ast.For(init, condition, post, body, line)
+        if token.kind == "require":
+            self._next()
+            self._expect("(")
+            condition = self._parse_expression()
+            self._accept(",") and self._accept("string")
+            self._expect(")")
+            self._expect(";")
+            return ast.Require(condition, line)
+        if token.kind == "revert":
+            self._next()
+            self._expect("(")
+            self._accept("string")
+            self._expect(")")
+            self._expect(";")
+            return ast.RevertStmt(line)
+        if token.kind == "return":
+            self._next()
+            value = None
+            if self._peek() is not None and self._peek().kind != ";":
+                value = self._parse_expression()
+            self._expect(";")
+            return ast.Return(value, line)
+        if token.kind == "emit":
+            self._next()
+            event = self._expect("ident").text
+            self._expect("(")
+            args = self._parse_args()
+            self._expect(")")
+            self._expect(";")
+            return ast.Emit(event, args, line)
+        statement = self._parse_simple_statement()
+        self._expect(";")
+        return statement
+
+    def _parse_simple_statement(self):
+        """Declaration / (compound) assignment / expression, without
+        the trailing semicolon (shared with ``for`` headers)."""
+        token = self._peek()
+        line = token.line if token is not None else 0
+        if token is not None and token.kind in ("uint256", "address",
+                                                "bool"):
+            self._next()
+            name = self._expect("ident").text
+            init = None
+            if self._accept("="):
+                init = self._parse_expression()
+            return ast.VarDecl(token.kind, name, init, line)
+        expr = self._parse_expression()
+        if self._accept("="):
+            value = self._parse_expression()
+            if not isinstance(expr, (ast.Name, ast.MappingAccess)):
+                raise CompileError("invalid assignment target", line)
+            return ast.Assign(expr, value, line)
+        for compound in ("+=", "-=", "*=", "/=", "%="):
+            if self._accept(compound):
+                value = self._parse_expression()
+                if not isinstance(expr, (ast.Name, ast.MappingAccess)):
+                    raise CompileError("invalid assignment target", line)
+                # Desugar: x op= e  ->  x = x op e.
+                return ast.Assign(
+                    expr, ast.Binary(compound[0], expr, value, line),
+                    line)
+        return ast.ExprStmt(expr, line)
+
+    def _parse_args(self) -> List[object]:
+        args: List[object] = []
+        if self._peek() is not None and self._peek().kind == ")":
+            return args
+        while True:
+            args.append(self._parse_expression())
+            if not self._accept(","):
+                return args
+
+    # -- expressions (precedence climbing) ----------------------------------------
+
+    def _parse_expression(self, min_precedence: int = 1):
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token is None:
+                return left
+            precedence = _PRECEDENCE.get(token.kind)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_expression(precedence + 1)
+            left = ast.Binary(token.kind, left, right, token.line)
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token is not None and token.kind in ("!", "-"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(token.kind, operand, token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "[":
+                if not isinstance(expr, (ast.Name, ast.MappingAccess)):
+                    raise CompileError("cannot index this expression",
+                                       token.line)
+                self._next()
+                key = self._parse_expression()
+                self._expect("]")
+                if isinstance(expr, ast.Name):
+                    expr = ast.MappingAccess(expr.ident, [key], token.line)
+                else:
+                    expr.keys.append(key)
+                continue
+            return expr
+
+    def _parse_primary(self):
+        token = self._next()
+        if token.kind == "number":
+            return ast.Literal(token.value, token.line)
+        if token.kind == "true":
+            return ast.Literal(1, token.line)
+        if token.kind == "false":
+            return ast.Literal(0, token.line)
+        if token.kind == "(":
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind in ("ident", "msg", "block", "tx"):
+            name = token.text
+            # Dotted environment reads: msg.sender etc.
+            if self._peek() is not None and self._peek().kind == ".":
+                self._next()
+                field = self._expect("ident").text
+                path = f"{name}.{field}"
+                if path not in ENV_FIELDS:
+                    raise CompileError(f"unknown field {path!r}", token.line)
+                return ast.EnvRead(path, token.line)
+            # Builtin or internal function calls.
+            if self._peek() is not None and self._peek().kind == "(":
+                self._next()
+                args = self._parse_args()
+                self._expect(")")
+                if name in BUILTINS:
+                    return ast.Call(name, args, token.line)
+                return ast.InternalCall(name, args, token.line)
+            return ast.Name(name, token.line)
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Contract:
+    """Parse minisol source into a :class:`Contract` AST."""
+    return Parser(tokenize(source)).parse_contract()

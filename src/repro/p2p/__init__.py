@@ -1,0 +1,6 @@
+"""P2P dissemination model: gossip latencies and node views."""
+
+from repro.p2p.latency import LatencyModel
+from repro.p2p.gossip import GossipNetwork
+
+__all__ = ["LatencyModel", "GossipNetwork"]

@@ -1,0 +1,70 @@
+"""Gossip network: per-participant message arrival times.
+
+The asynchronous gossip protocol is the root cause of the many-future
+problem (paper §4.2): each miner observes a different subset and
+ordering of pending transactions, and the evaluation node hears most —
+but not all — transactions before they are mined.
+
+The model assigns every broadcast message an independent arrival delay
+per participant.  Transactions flagged ``origin_miner`` are *private*:
+they reach only their miner (e.g. mining-pool-direct submissions) and
+are never heard by observers before inclusion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chain.transaction import Transaction
+from repro.p2p.latency import LatencyModel
+
+
+@dataclass
+class GossipNetwork:
+    """Assigns arrival times of transactions to miners and observers."""
+
+    miner_ids: List[int]
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Per-observer latency models (observers differ in connectivity —
+    #: the paper's L1 vs R1 heard-rate difference, §5.1).
+    observer_latencies: Dict[str, LatencyModel] = field(default_factory=dict)
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def add_observer(self, name: str,
+                     latency: Optional[LatencyModel] = None) -> None:
+        self.observer_latencies[name] = latency or self.latency
+
+    def disseminate(self, tx: Transaction, born: float
+                    ) -> "Dissemination":
+        """Sample when each participant hears ``tx``."""
+        miner_arrivals: Dict[int, float] = {}
+        observer_arrivals: Dict[str, float] = {}
+        if tx.origin_miner is not None:
+            # Private transaction: direct to one miner only.
+            miner_arrivals[tx.origin_miner] = born
+            for name in self.observer_latencies:
+                observer_arrivals[name] = float("inf")
+            for miner in self.miner_ids:
+                if miner != tx.origin_miner:
+                    miner_arrivals[miner] = float("inf")
+            return Dissemination(tx, born, miner_arrivals, observer_arrivals)
+        for miner in self.miner_ids:
+            miner_arrivals[miner] = born + self.latency.sample(self._rng)
+        for name, model in self.observer_latencies.items():
+            observer_arrivals[name] = born + model.sample(self._rng)
+        return Dissemination(tx, born, miner_arrivals, observer_arrivals)
+
+
+@dataclass
+class Dissemination:
+    """Arrival schedule of one transaction."""
+
+    tx: Transaction
+    born: float
+    miner_arrivals: Dict[int, float]
+    observer_arrivals: Dict[str, float]

@@ -1,0 +1,8 @@
+"""DiCE network simulation: traffic recording and faithful replay."""
+
+from repro.sim.recorder import Dataset, DatasetConfig, record_dataset
+from repro.sim.emulator import EvaluationRun, replay
+from repro.sim.storage import load_dataset, save_dataset
+
+__all__ = ["Dataset", "DatasetConfig", "record_dataset",
+           "EvaluationRun", "replay", "save_dataset", "load_dataset"]

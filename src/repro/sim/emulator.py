@@ -1,0 +1,183 @@
+"""Emulator: faithful replay of a recorded dataset into evaluation nodes.
+
+Mirrors the paper's emulator (§5.4): "takes a period of recorded traffic
+and a copy of the local blockchain database, resets the state to where
+the traffic starts, and replays the traffic faithfully, making sure the
+relative arrival timings of the transactions and blocks are accurately
+respected".
+
+One replay drives a :class:`BaselineNode` and a :class:`ForerunnerNode`
+over the identical stream; per-transaction records are joined by hash
+into :class:`EvaluationRun`, from which every evaluation table/figure
+is computed (:mod:`repro.bench`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.node import (
+    BaselineNode,
+    BlockReport,
+    ForerunnerConfig,
+    ForerunnerNode,
+    TxRecord,
+)
+from repro.errors import SimulationError
+from repro.sim.recorder import Dataset
+
+
+@dataclass
+class JoinedRecord:
+    """Baseline + Forerunner execution of the same transaction."""
+
+    tx_hash: int
+    block_number: int
+    kind: str
+    baseline_cost: int
+    forerunner_cost: int
+    gas_used: int
+    heard: bool
+    heard_delay: float
+    outcome: str
+    ap_ready: bool
+    perfect: bool
+    first_context_perfect: bool
+    speculated_contexts: int
+    shortcut_hits: int = 0
+    executed_nodes: int = 0
+    skipped_nodes: int = 0
+    baseline_cpu: int = 0
+    baseline_io_units: int = 0
+    baseline_io_reads: int = 0
+
+    @property
+    def speedup(self) -> float:
+        if self.forerunner_cost <= 0:
+            return 1.0
+        return self.baseline_cost / self.forerunner_cost
+
+
+@dataclass
+class EvaluationRun:
+    """Everything measured during one replay."""
+
+    dataset_name: str
+    observer: str
+    records: List[JoinedRecord] = field(default_factory=list)
+    roots_matched: int = 0
+    blocks_executed: int = 0
+    speculation_jobs: int = 0
+    total_speculation_cost: int = 0
+    prefetch_offpath_cost: int = 0
+    wall_seconds_baseline: float = 0.0
+    wall_seconds_forerunner: float = 0.0
+    forerunner_node: Optional[ForerunnerNode] = None
+
+    def heard_fraction(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.heard for r in self.records) / len(self.records)
+
+    def heard_fraction_weighted(self) -> float:
+        total = sum(r.baseline_cost for r in self.records)
+        if not total:
+            return 0.0
+        heard = sum(r.baseline_cost for r in self.records if r.heard)
+        return heard / total
+
+
+def replay(dataset: Dataset, observer: str = "live",
+           config: Optional[ForerunnerConfig] = None,
+           speculation_tick: float = 2.0) -> EvaluationRun:
+    """Replay ``dataset`` through baseline + Forerunner nodes."""
+    if observer not in dataset.tx_arrivals:
+        raise SimulationError(
+            f"dataset {dataset.name!r} has no observer {observer!r} "
+            f"(has {sorted(dataset.tx_arrivals)})")
+
+    baseline = BaselineNode(dataset.genesis_world.copy())
+    forerunner = ForerunnerNode(dataset.genesis_world.copy(), config)
+    forerunner.predictor.observe_block(dataset.genesis_block)
+
+    # Merged timeline: transactions, speculation ticks, blocks.
+    # Priority tuple: (time, priority) so tx arrivals at the same time
+    # precede speculation ticks, which precede block processing.
+    events: List[Tuple[float, int, int, object]] = []
+    counter = 0
+    for arrival, tx in dataset.tx_arrivals[observer]:
+        events.append((arrival, 0, counter, ("tx", tx)))
+        counter += 1
+    last_block_time = dataset.blocks[-1][0] if dataset.blocks else 0.0
+    tick = speculation_tick
+    while tick < last_block_time:
+        events.append((tick, 1, counter, ("tick", None)))
+        counter += 1
+        tick += speculation_tick
+    for arrival, block in dataset.blocks:
+        events.append((arrival, 2, counter, ("block", block)))
+        counter += 1
+    heapq.heapify(events)
+
+    run = EvaluationRun(dataset_name=dataset.name, observer=observer)
+    kinds = dataset.kinds
+    baseline_records: Dict[int, TxRecord] = {}
+
+    while events:
+        now, _, _, (kind, payload) = heapq.heappop(events)
+        if kind == "tx":
+            forerunner.on_transaction(payload, now)
+        elif kind == "tick":
+            run.speculation_jobs += forerunner.run_speculation(now)
+        else:
+            # One last speculation chance before the block executes
+            # (the paper's window spans up to the execution moment).
+            run.speculation_jobs += forerunner.run_speculation(now)
+            started = _time.perf_counter()
+            base_report: BlockReport = baseline.process_block(payload)
+            mid = _time.perf_counter()
+            fore_report = forerunner.process_block(payload, now)
+            ended = _time.perf_counter()
+            run.wall_seconds_baseline += mid - started
+            run.wall_seconds_forerunner += ended - mid
+            run.blocks_executed += 1
+            if base_report.state_root == fore_report.state_root:
+                run.roots_matched += 1
+            else:  # pragma: no cover - correctness violation
+                raise SimulationError(
+                    f"root divergence at block {payload.number}")
+            for record in base_report.records:
+                baseline_records[record.tx_hash] = record
+            for record in fore_report.records:
+                base = baseline_records.get(record.tx_hash)
+                if base is None:
+                    continue
+                run.records.append(JoinedRecord(
+                    tx_hash=record.tx_hash,
+                    block_number=record.block_number,
+                    kind=kinds.get(record.tx_hash, "?"),
+                    baseline_cost=base.cost,
+                    forerunner_cost=record.cost,
+                    baseline_cpu=base.cpu_units,
+                    baseline_io_units=base.io_units,
+                    baseline_io_reads=base.io_reads,
+                    gas_used=record.gas_used,
+                    heard=record.heard,
+                    heard_delay=record.heard_delay,
+                    outcome=record.outcome,
+                    ap_ready=record.ap_ready,
+                    perfect=record.perfect,
+                    first_context_perfect=record.first_context_perfect,
+                    speculated_contexts=record.speculated_contexts,
+                    shortcut_hits=record.shortcut_hits,
+                    executed_nodes=record.executed_nodes,
+                    skipped_nodes=record.skipped_nodes,
+                ))
+
+    run.total_speculation_cost = forerunner.speculator.total_speculation_cost
+    run.prefetch_offpath_cost = forerunner.prefetcher.offpath_cost
+    run.forerunner_node = forerunner
+    return run

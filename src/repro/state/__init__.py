@@ -1,0 +1,28 @@
+"""World state: accounts, storage, Merkle commitment, and StateDB caching.
+
+The paper's prefetcher (§4.4) works by pre-creating StateDB objects so
+their internal caches already hold the values the critical path will
+read.  This package reproduces that mechanism: a committed
+:class:`WorldState` plays the role of the on-disk trie database, a
+:class:`StateDB` is a snapshot view with internal caches, and
+:class:`DiskModel` accounts for the simulated I/O cost of cold lookups
+(trie-walk decoding) versus warm cache hits.
+"""
+
+from repro.state.account import Account
+from repro.state.world import WorldState
+from repro.state.statedb import StateDB
+from repro.state.diskio import DiskModel, IOStats
+from repro.state.nodecache import NodeCache
+from repro.state.trie import storage_root, state_root
+
+__all__ = [
+    "Account",
+    "WorldState",
+    "StateDB",
+    "DiskModel",
+    "IOStats",
+    "NodeCache",
+    "storage_root",
+    "state_root",
+]

@@ -1,0 +1,244 @@
+"""StateDB: a journaled, cached snapshot view over the committed state.
+
+Mirrors geth's StateDB role described in the paper (§4.4): transaction
+execution reads state through a StateDB whose internal caches expedite
+repeated lookups, and Forerunner's prefetcher pre-populates those caches
+off the critical path.  Warmness survives journal reverts (as in real
+clients), which is exactly why speculative pre-execution pays even for
+missed predictions (Table 3's 1.21× row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import InsufficientBalance
+from repro.state.account import Account
+from repro.state.diskio import DiskModel
+from repro.state.trie import trie_depth
+from repro.state.world import WorldState
+
+
+@dataclass
+class LogEntry:
+    """One LOG record emitted during execution."""
+
+    address: int
+    topics: Tuple[int, ...]
+    data: bytes
+
+
+class StateDB:
+    """Mutable execution view with per-instance caches and a journal.
+
+    Reads fall through: working cache -> committed world (charging the
+    simulated cold-I/O cost and warming the cache).  Writes go to working
+    copies and are journaled so :meth:`revert_to` can undo them; cache
+    warmness deliberately survives reverts.
+    """
+
+    def __init__(self, world: WorldState, disk: Optional[DiskModel] = None,
+                 node_cache=None) -> None:
+        self.world = world
+        self.disk = disk if disk is not None else DiskModel()
+        self.disk.account_depth = world.account_trie_depth()
+        #: Optional :class:`repro.state.nodecache.NodeCache` — keys warm
+        #: there are charged warm even on this view's first touch.
+        self.node_cache = node_cache
+        self._cache: Dict[int, Account] = {}
+        self._loaded_slots: Set[Tuple[int, int]] = set()
+        self._journal: List[tuple] = []
+        self.logs: List[LogEntry] = []
+
+    # -- internal ----------------------------------------------------------
+
+    def _load_account(self, address: int) -> Account:
+        """Working copy of ``address``; cold-loads and warms on first touch."""
+        cached = self._cache.get(address)
+        if cached is not None:
+            self.disk.charge_warm()
+            return cached
+        committed = self.world.get_account(address)
+        if (self.node_cache is not None
+                and self.node_cache.contains(("acct", address))):
+            self.disk.charge_warm()
+        else:
+            self.disk.charge_cold_account()
+            if self.node_cache is not None:
+                self.node_cache.add(("acct", address))
+        if committed is None:
+            working = Account()
+        else:
+            # Shallow copy: storage slots are loaded (and charged) lazily.
+            working = Account(committed.balance, committed.nonce, committed.code, {})
+        self._cache[address] = working
+        return working
+
+    def _committed_slot(self, address: int, slot: int) -> int:
+        committed = self.world.get_account(address)
+        if committed is None:
+            return 0
+        return committed.get_storage(slot)
+
+    # -- warmness / prefetch support ----------------------------------------
+
+    def is_account_warm(self, address: int) -> bool:
+        """True if ``address`` is already in this view's cache."""
+        return address in self._cache
+
+    def is_slot_warm(self, address: int, slot: int) -> bool:
+        """True if storage slot is already in this view's cache."""
+        return (address, slot) in self._loaded_slots
+
+    def warm_account(self, address: int) -> None:
+        """Prefetch one account into the cache (charges this view's disk)."""
+        self._load_account(address)
+
+    def warm_slot(self, address: int, slot: int) -> None:
+        """Prefetch one storage slot into the cache."""
+        self.get_storage(address, slot)
+
+    # -- account access ------------------------------------------------------
+
+    def account_exists(self, address: int) -> bool:
+        """True if the account exists in cache or committed state."""
+        return address in self._cache or address in self.world
+
+    def create_account(self, address: int, balance: int = 0,
+                       code: bytes = b"") -> None:
+        """Create a fresh account in the working view."""
+        self._journal.append(("create", address, self._cache.get(address)))
+        self._cache[address] = Account(balance=balance, code=code)
+
+    def get_balance(self, address: int) -> int:
+        return self._load_account(address).balance
+
+    def set_balance(self, address: int, value: int) -> None:
+        account = self._load_account(address)
+        self._journal.append(("balance", address, account.balance))
+        account.balance = value
+
+    def add_balance(self, address: int, amount: int) -> None:
+        self.set_balance(address, self.get_balance(address) + amount)
+
+    def sub_balance(self, address: int, amount: int) -> None:
+        balance = self.get_balance(address)
+        if balance < amount:
+            raise InsufficientBalance(
+                f"account {address:#x} balance {balance} < {amount}")
+        self.set_balance(address, balance - amount)
+
+    def get_nonce(self, address: int) -> int:
+        return self._load_account(address).nonce
+
+    def increment_nonce(self, address: int) -> None:
+        account = self._load_account(address)
+        self._journal.append(("nonce", address, account.nonce))
+        account.nonce += 1
+
+    def get_code(self, address: int) -> bytes:
+        return self._load_account(address).code
+
+    def set_code(self, address: int, code: bytes) -> None:
+        account = self._load_account(address)
+        self._journal.append(("code", address, account.code))
+        account.code = code
+
+    # -- storage access -------------------------------------------------------
+
+    def get_storage(self, address: int, slot: int) -> int:
+        """SLOAD path with lazy per-slot cold loading."""
+        account = self._load_account(address)
+        key = (address, slot)
+        if key in self._loaded_slots:
+            self.disk.charge_warm()
+            return account.storage.get(slot, 0)
+        committed = self.world.get_account(address)
+        if (self.node_cache is not None
+                and self.node_cache.contains(("slot", address, slot))):
+            self.disk.charge_warm()
+        else:
+            self.disk.slot_depth = trie_depth(
+                len(committed.storage) if committed is not None else 0)
+            self.disk.charge_cold_slot()
+            if self.node_cache is not None:
+                self.node_cache.add(("slot", address, slot))
+        value = self._committed_slot(address, slot)
+        if value:
+            account.storage[slot] = value
+        self._loaded_slots.add(key)
+        return value
+
+    def set_storage(self, address: int, slot: int, value: int) -> None:
+        """SSTORE path; journals the previous working value."""
+        account = self._load_account(address)
+        key = (address, slot)
+        if key in self._loaded_slots:
+            old = account.storage.get(slot, 0)
+        else:
+            old = self._committed_slot(address, slot)
+            self._loaded_slots.add(key)
+        self._journal.append(("storage", address, slot, old))
+        account.set_storage(slot, value)
+
+    # -- logs -------------------------------------------------------------------
+
+    def add_log(self, address: int, topics: Tuple[int, ...], data: bytes) -> None:
+        """Append a LOG entry (journaled)."""
+        self._journal.append(("log",))
+        self.logs.append(LogEntry(address, topics, data))
+
+    # -- journal ------------------------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Mark the current journal position."""
+        return len(self._journal)
+
+    def revert_to(self, snap: int) -> None:
+        """Undo every change made after :meth:`snapshot` returned ``snap``."""
+        while len(self._journal) > snap:
+            entry = self._journal.pop()
+            kind = entry[0]
+            if kind == "balance":
+                self._cache[entry[1]].balance = entry[2]
+            elif kind == "nonce":
+                self._cache[entry[1]].nonce = entry[2]
+            elif kind == "code":
+                self._cache[entry[1]].code = entry[2]
+            elif kind == "storage":
+                self._cache[entry[1]].set_storage(entry[2], entry[3])
+            elif kind == "log":
+                self.logs.pop()
+            elif kind == "create":
+                if entry[2] is None:
+                    self._cache.pop(entry[1], None)
+                else:
+                    self._cache[entry[1]] = entry[2]
+
+    # -- commit ----------------------------------------------------------------------
+
+    def dirty_accounts(self) -> Dict[int, Account]:
+        """Materialize full post-state accounts for every touched address."""
+        result: Dict[int, Account] = {}
+        for address, working in self._cache.items():
+            committed = self.world.get_account(address)
+            if committed is None:
+                merged = Account(working.balance, working.nonce, working.code, {})
+            else:
+                merged = committed.copy()
+                merged.balance = working.balance
+                merged.nonce = working.nonce
+                merged.code = working.code
+            for (addr, slot) in list(self._loaded_slots):
+                if addr != address:
+                    continue
+                value = working.storage.get(slot, 0)
+                merged.set_storage(slot, value)
+            result[address] = merged
+        return result
+
+    def commit(self) -> None:
+        """Fold this view's changes into the committed world state."""
+        self.world.apply(self.dirty_accounts())
+        self._journal.clear()

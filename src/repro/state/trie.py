@@ -1,0 +1,71 @@
+"""Merkle commitment over the world state.
+
+Ethereum commits its state in a Merkle-Patricia trie; two states are
+identical iff their roots are equal, which is how the paper validates
+correctness (§5.2: every block's post-state root must match the
+network's).  We reproduce the *invariant* with a simpler binary Merkle
+construction over the sorted account entries: deterministic,
+collision-resistant, and incremental enough for our scale.  The
+trie *depth* (number of node decodes a cold lookup walks) is modelled
+for I/O accounting in :mod:`repro.state.diskio`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.state.account import Account
+from repro.utils.hashing import hash_words, keccak_int
+from repro.utils.words import bytes_to_int
+
+
+def _merkle_fold(leaves: List[int]) -> int:
+    """Fold a list of leaf hashes into a single root."""
+    if not leaves:
+        return 0
+    level = leaves
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(hash_words((level[i], level[i + 1])))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def storage_root(storage: Dict[int, int]) -> int:
+    """Commitment over one contract's storage mapping."""
+    leaves = [hash_words((slot, value)) for slot, value in sorted(storage.items())]
+    return _merkle_fold(leaves)
+
+
+def account_hash(address: int, account: Account) -> int:
+    """Leaf hash for one account (address, balance, nonce, code, storage)."""
+    code_hash = keccak_int(account.code) if account.code else 0
+    return hash_words(
+        (address, account.balance, account.nonce, code_hash,
+         storage_root(account.storage))
+    )
+
+
+def state_root(accounts: Dict[int, Account]) -> int:
+    """Commitment over the entire world state."""
+    leaves = [account_hash(addr, acct) for addr, acct in sorted(accounts.items())]
+    return _merkle_fold(leaves)
+
+
+def trie_depth(num_entries: int) -> int:
+    """Approximate node-walk depth of a trie holding ``num_entries`` keys.
+
+    Used by the disk model: a cold lookup loads and decodes one node per
+    level from root to leaf.
+    """
+    if num_entries <= 1:
+        return 1
+    depth = 1
+    span = 1
+    while span < num_entries:
+        span *= 16  # hex-ary branching like the Merkle-Patricia trie
+        depth += 1
+    return depth

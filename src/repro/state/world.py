@@ -1,0 +1,66 @@
+"""The committed world state (the "database" behind StateDB views)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.state.account import Account
+from repro.state.trie import state_root, trie_depth
+
+
+class WorldState:
+    """Committed account store, playing the role of the on-disk trie DB.
+
+    :class:`repro.state.statedb.StateDB` instances are snapshot views on
+    top of a ``WorldState``; :meth:`apply` folds a finished block's write
+    set back in.
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[int, Account] = {}
+
+    # -- access -----------------------------------------------------------
+
+    def get_account(self, address: int) -> Optional[Account]:
+        """The committed account at ``address`` or None."""
+        return self._accounts.get(address)
+
+    def accounts(self) -> Dict[int, Account]:
+        """The underlying mapping (callers must not mutate)."""
+        return self._accounts
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    # -- mutation ---------------------------------------------------------
+
+    def create_account(self, address: int, balance: int = 0,
+                       code: bytes = b"") -> Account:
+        """Create (or overwrite) an account; returns it."""
+        account = Account(balance=balance, code=code)
+        self._accounts[address] = account
+        return account
+
+    def apply(self, dirty: Dict[int, Account]) -> None:
+        """Commit a finished execution's dirty accounts."""
+        for address, account in dirty.items():
+            self._accounts[address] = account
+
+    def copy(self) -> "WorldState":
+        """Deep copy; used by the recorder/emulator to reset state (§5.4)."""
+        clone = WorldState()
+        clone._accounts = {a: acct.copy() for a, acct in self._accounts.items()}
+        return clone
+
+    # -- commitment -------------------------------------------------------
+
+    def root(self) -> int:
+        """Merkle root of the committed state (correctness check, §5.2)."""
+        return state_root(self._accounts)
+
+    def account_trie_depth(self) -> int:
+        """Approximate depth of the account trie (for the disk model)."""
+        return trie_depth(len(self._accounts))

@@ -1,0 +1,5 @@
+"""Pending transaction pool."""
+
+from repro.txpool.pool import TxPool
+
+__all__ = ["TxPool"]

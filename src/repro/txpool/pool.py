@@ -1,0 +1,99 @@
+"""Pending transaction pool with nonce ordering and price views.
+
+Every node keeps one: transactions arrive from gossip, leave when a
+block packs them.  Miners draw their packing candidates from here;
+Forerunner's predictor monitors it (paper Figure 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.chain.transaction import Transaction
+
+
+class TxPool:
+    """Pending pool: hash-indexed with per-sender nonce queues."""
+
+    def __init__(self) -> None:
+        self._by_hash: Dict[int, Transaction] = {}
+        self._by_sender: Dict[int, Dict[int, Transaction]] = {}
+        self.arrival_times: Dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+    def __contains__(self, tx_hash: int) -> bool:
+        return tx_hash in self._by_hash
+
+    def add(self, tx: Transaction, now: float = 0.0) -> bool:
+        """Insert a pending transaction; replaces a same-nonce tx only
+        if the newcomer pays a strictly higher gas price (like geth's
+        replacement rule).  Returns True if inserted."""
+        sender_queue = self._by_sender.setdefault(tx.sender, {})
+        existing = sender_queue.get(tx.nonce)
+        if existing is not None:
+            if tx.gas_price <= existing.gas_price:
+                return False
+            self._by_hash.pop(existing.hash, None)
+            self.arrival_times.pop(existing.hash, None)
+        sender_queue[tx.nonce] = tx
+        self._by_hash[tx.hash] = tx
+        self.arrival_times[tx.hash] = now
+        return True
+
+    def remove(self, tx_hash: int) -> Optional[Transaction]:
+        """Drop one transaction (e.g. after it was packed); returns it."""
+        tx = self._by_hash.pop(tx_hash, None)
+        if tx is None:
+            return None
+        self.arrival_times.pop(tx_hash, None)
+        sender_queue = self._by_sender.get(tx.sender)
+        if sender_queue and sender_queue.get(tx.nonce) is tx:
+            del sender_queue[tx.nonce]
+            if not sender_queue:
+                del self._by_sender[tx.sender]
+        return tx
+
+    def remove_all(self, tx_hashes: Iterable[int]) -> int:
+        """Drop several transactions; returns how many were present."""
+        removed = 0
+        for tx_hash in tx_hashes:
+            if self.remove(tx_hash) is not None:
+                removed += 1
+        return removed
+
+    def pending(self) -> List[Transaction]:
+        """All pending transactions (no particular order)."""
+        return list(self._by_hash.values())
+
+    def price_sorted(self, rng: Optional[random.Random] = None,
+                     prioritize_miner: Optional[int] = None
+                     ) -> List[Transaction]:
+        """Transactions by descending gas price.
+
+        Ties break randomly (geth packs same-price transactions in
+        random order), and a miner's own transactions sort first when
+        ``prioritize_miner`` is given — the two packing heuristics the
+        predictor simulates (paper §4.4).
+        """
+        rng = rng or random.Random(0)
+
+        def key(tx: Transaction):
+            own = 1 if (prioritize_miner is not None
+                        and tx.origin_miner == prioritize_miner) else 0
+            return (-own, -tx.gas_price, rng.random())
+
+        return sorted(self._by_hash.values(), key=key)
+
+    def ready_for(self, sender: int, next_nonce: int
+                  ) -> List[Transaction]:
+        """Sender's consecutive-nonce run starting at ``next_nonce``."""
+        queue = self._by_sender.get(sender, {})
+        ready: List[Transaction] = []
+        nonce = next_nonce
+        while nonce in queue:
+            ready.append(queue[nonce])
+            nonce += 1
+        return ready

@@ -1,0 +1,32 @@
+"""Hashing primitives.
+
+The reproduction does not need byte-for-byte Ethereum hash compatibility
+(no external clients verify our roots); it needs a *deterministic,
+collision-resistant* commitment.  We therefore use SHA3-256 from the
+standard library and call the helper ``keccak`` to keep the code aligned
+with the paper's terminology (SHA3/keccak-derived storage slots, Merkle
+roots).  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.utils.words import bytes_to_int, int_to_bytes32
+
+
+def keccak(data: bytes) -> bytes:
+    """Hash ``data`` to 32 bytes."""
+    return hashlib.sha3_256(data).digest()
+
+
+def keccak_int(data: bytes) -> int:
+    """Hash ``data`` and return the digest as an unsigned word."""
+    return bytes_to_int(keccak(data))
+
+
+def hash_words(words: Iterable[int]) -> int:
+    """Hash a sequence of 256-bit words (used for trie/commitment nodes)."""
+    buf = b"".join(int_to_bytes32(w) for w in words)
+    return keccak_int(buf)

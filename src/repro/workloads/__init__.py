@@ -1,0 +1,24 @@
+"""Workload generators: DeFi-shaped synthetic Ethereum traffic.
+
+The paper evaluates on live mainnet traffic; we synthesize traffic with
+the same structural properties (DESIGN.md):
+
+* **oracle feeds** — many reporters submitting prices into shared
+  rounds: densely inter-dependent, timestamp-sensitive (the paper's
+  §4.2 running example);
+* **token transfers** — sparse inter-dependence through shared
+  balances;
+* **DEX swaps** — dense inter-dependence through shared AMM reserves,
+  with cross-contract calls;
+* **auctions** — deadline-driven control-flow divergence;
+* **plain ETH transfers** — the no-code fast case;
+
+mixed by :mod:`repro.workloads.mixed` with Poisson arrivals and a
+discrete gas-price distribution (price ties are what make packing order
+nondeterministic — paper §4.2 fn. 8).
+"""
+
+from repro.workloads.gasprice import GasPriceModel
+from repro.workloads.mixed import MixedWorkload, TrafficConfig, TimedTx
+
+__all__ = ["GasPriceModel", "MixedWorkload", "TrafficConfig", "TimedTx"]

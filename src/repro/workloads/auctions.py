@@ -1,0 +1,69 @@
+"""Auction workload: deadline-driven bidding.
+
+Bids near an auction deadline flip between the accept and reject paths
+depending on the block timestamp — context-dependent control flow in
+the same way PriceFeed's round check is.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.auction import auction
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class AuctionWorkload:
+    """Escalating bids against auctions with staggered deadlines."""
+
+    def __init__(self, auctions: int = 2, bidders: int = 10,
+                 rate: float = 0.15, horizon: float = 3600.0) -> None:
+        self.auction_count = auctions
+        self.bidder_count = bidders
+        self.rate = rate
+        self.horizon = horizon
+        self.addresses: List[int] = []
+        self.bidders: List[int] = []
+        self._bid_state: dict = {}
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        compiled = auction()
+        for index in range(self.auction_count):
+            address = CONTRACT_BASE + 0x400 + index
+            world.create_account(address, code=compiled.code)
+            account = world.get_account(address)
+            deadline = int(self.horizon * (index + 1) / self.auction_count)
+            account.set_storage(compiled.slot_of("deadline"), deadline)
+            self.addresses.append(address)
+            self._bid_state[address] = 100
+        self.bidders = fund_senders(world, SENDER_BASE + 0x4000,
+                                    self.bidder_count)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = auction()
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            address = rng.choice(self.addresses)
+            self._bid_state[address] += rng.randint(5, 50)
+            intents.append(TxIntent(
+                time=when,
+                sender=rng.choice(self.bidders),
+                to=address,
+                data=compiled.calldata("bid", self._bid_state[address]),
+                gas_price=prices.sample(rng),
+                gas_limit=150_000,
+                kind="auction",
+            ))
+        return intents

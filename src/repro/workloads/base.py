@@ -1,0 +1,61 @@
+"""Shared workload plumbing: address allocation and event records."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.state.world import WorldState
+
+#: Address ranges (opaque integers; see DESIGN.md).
+SENDER_BASE = 0x10_000
+CONTRACT_BASE = 0xC0_000
+MINER_BASE = 0xE0_000
+
+#: Generous initial ETH balance for traffic senders.
+FUNDING = 10**24
+
+
+@dataclass
+class TxIntent:
+    """A transaction-to-be, before nonce assignment."""
+
+    time: float
+    sender: int
+    to: int
+    data: bytes = b""
+    value: int = 0
+    gas_price: int = 0
+    gas_limit: int = 300_000
+    origin_miner: Optional[int] = None
+    #: Label for per-workload statistics ("oracle", "token", ...).
+    kind: str = ""
+
+
+def fund_senders(world: WorldState, base: int, count: int) -> list:
+    """Create ``count`` funded sender accounts; returns their addresses."""
+    addresses = []
+    for index in range(count):
+        address = base + index
+        if world.get_account(address) is None:
+            world.create_account(address, balance=FUNDING)
+        addresses.append(address)
+    return addresses
+
+
+def poisson_times(rng: random.Random, rate: float, duration: float,
+                  start: float = 0.0) -> list:
+    """Arrival times of a Poisson process with ``rate`` events/second.
+
+    A zero (or negative) rate yields no events.
+    """
+    if rate <= 0:
+        return []
+    times = []
+    t = start
+    while True:
+        t += rng.expovariate(rate)
+        if t >= start + duration:
+            return times
+        times.append(t)

@@ -1,0 +1,56 @@
+"""Compute-heavy workload: occasional long mixing transactions."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.compute import checkpointer
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class ComputeWorkload:
+    """Rare but heavy hash-mixing transactions (Figure 12's tail)."""
+
+    def __init__(self, users: int = 5, rate: float = 0.05,
+                 min_rounds: int = 50, max_rounds: int = 150) -> None:
+        self.users_count = users
+        self.rate = rate
+        self.min_rounds = min_rounds
+        self.max_rounds = max_rounds
+        self.contract_address = CONTRACT_BASE + 0x700
+        self.users: List[int] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        compiled = checkpointer()
+        world.create_account(self.contract_address, code=compiled.code)
+        self.users = fund_senders(world, SENDER_BASE + 0x8000,
+                                  self.users_count)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = checkpointer()
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            rounds = rng.randint(self.min_rounds, self.max_rounds)
+            intents.append(TxIntent(
+                time=when,
+                sender=rng.choice(self.users),
+                to=self.contract_address,
+                data=compiled.calldata("mix", rng.randint(0, 2**64),
+                                       rounds),
+                gas_price=prices.sample(rng),
+                gas_limit=200_000 + 40_000 * rounds,
+                kind="compute",
+            ))
+        return intents

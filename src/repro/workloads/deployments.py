@@ -1,0 +1,66 @@
+"""Deployment workload: occasional contract creations.
+
+Real traffic includes contract deployments; they cannot be specialized
+(no AP — the speculator skips them) and so exercise the graceful
+degradation path: Forerunner must execute them plainly while keeping
+Merkle roots identical, and they dilute the end-to-end speedup exactly
+like other unaccelerated traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import List
+
+from repro.minisol import compile_contract
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+_COUNTER_SOURCE = """
+contract Counter {
+    uint256 public count;
+    function bump(uint256 by) public { count += by; }
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def _counter():
+    return compile_contract(_COUNTER_SOURCE)
+
+
+class DeploymentWorkload:
+    """Rare contract-creation transactions (tx.to == 0)."""
+
+    def __init__(self, deployers: int = 4, rate: float = 0.01) -> None:
+        self.deployers_count = deployers
+        self.rate = rate
+        self.deployers: List[int] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Fund this workload's sender accounts."""
+        self.deployers = fund_senders(world, SENDER_BASE + 0x9000,
+                                      self.deployers_count)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            intents.append(TxIntent(
+                time=when,
+                sender=rng.choice(self.deployers),
+                to=0,
+                data=_counter().deploy_code(),
+                gas_price=prices.sample(rng),
+                gas_limit=1_000_000,
+                kind="deploy",
+            ))
+        return intents

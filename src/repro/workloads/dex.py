@@ -1,0 +1,88 @@
+"""DEX swap workload: a constant-product AMM pool.
+
+Every swap reads and writes the shared reserves, so concurrent swaps in
+the pending pool are densely inter-dependent and their execution order
+changes every participant's output — the hardest case for traditional
+single-future speculation, and the one Forerunner's imperfect-match
+acceleration shines on (Table 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.amm import amm
+from repro.contracts.erc20 import erc20
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+INITIAL_RESERVE = 10**12
+
+
+class DexWorkload:
+    """Random swaps against one AMM pool backed by two tokens."""
+
+    def __init__(self, traders: int = 25, rate: float = 0.5) -> None:
+        self.traders_count = traders
+        self.rate = rate
+        self.pool_address = CONTRACT_BASE + 0x300
+        self.token0 = CONTRACT_BASE + 0x301
+        self.token1 = CONTRACT_BASE + 0x302
+        self.traders: List[int] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        pool = amm()
+        token = erc20()
+        world.create_account(self.token0, code=token.code)
+        world.create_account(self.token1, code=token.code)
+        world.create_account(self.pool_address, code=pool.code)
+        pool_account = world.get_account(self.pool_address)
+        pool_account.set_storage(pool.slot_of("reserve0"), INITIAL_RESERVE)
+        pool_account.set_storage(pool.slot_of("reserve1"), INITIAL_RESERVE)
+        pool_account.set_storage(pool.slot_of("token0"), self.token0)
+        pool_account.set_storage(pool.slot_of("token1"), self.token1)
+        pool_account.set_storage(pool.slot_of("selfAddr"), self.pool_address)
+
+        self.traders = fund_senders(world, SENDER_BASE + 0x3000,
+                                    self.traders_count)
+        for token_address in (self.token0, self.token1):
+            token_account = world.get_account(token_address)
+            # Pool inventory backing the reserves.
+            token_account.set_storage(
+                token.slot_of("balanceOf", self.pool_address),
+                INITIAL_RESERVE * 10)
+            for trader in self.traders:
+                token_account.set_storage(
+                    token.slot_of("balanceOf", trader), 10**10)
+                token_account.set_storage(
+                    token.slot_of("allowance", trader, self.pool_address),
+                    10**18)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        pool = amm()
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            trader = rng.choice(self.traders)
+            amount = rng.randint(10**3, 10**5)
+            method = "swap0to1" if rng.random() < 0.5 else "swap1to0"
+            intents.append(TxIntent(
+                time=when,
+                sender=trader,
+                to=self.pool_address,
+                data=pool.calldata(method, amount, 0),
+                gas_price=prices.sample(rng),
+                gas_limit=250_000,
+                kind="dex",
+            ))
+        return intents

@@ -1,0 +1,42 @@
+"""Gas price distribution.
+
+Senders take pricing advice from the same helper tools, so a handful of
+discrete price levels dominate and ties are common (paper §4.2 fn. 8 —
+ties are broken randomly by miners, a key source of ordering
+nondeterminism).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: (gwei price level, relative weight) — a stylized 2021 fee market.
+DEFAULT_LEVELS: Tuple[Tuple[int, float], ...] = (
+    (80, 0.30),   # "standard" helper-tool advice
+    (100, 0.25),  # "fast"
+    (120, 0.18),
+    (90, 0.12),
+    (150, 0.08),  # impatient
+    (200, 0.04),
+    (60, 0.03),   # patient
+)
+
+GWEI = 1_000_000_000
+
+
+@dataclass
+class GasPriceModel:
+    """Samples discrete gas prices (in wei)."""
+
+    levels: Tuple[Tuple[int, float], ...] = DEFAULT_LEVELS
+    _prices: List[int] = field(init=False, default_factory=list)
+    _weights: List[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._prices = [level * GWEI for level, _ in self.levels]
+        self._weights = [weight for _, weight in self.levels]
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.choices(self._prices, weights=self._weights)[0]

@@ -1,0 +1,90 @@
+"""Lending-market workload: supplies, borrows, repayments, accruals.
+
+Every interaction depends on ``block.timestamp`` (interest accrual) and
+borrows STATICCALL a price feed — the most context-entangled workload
+in the mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.lending import lending
+from repro.contracts.pricefeed import pricefeed
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class LendingWorkload:
+    """Random lending-market interactions at a Poisson rate."""
+
+    def __init__(self, users: int = 15, rate: float = 0.2,
+                 round_id: int = 0) -> None:
+        self.users_count = users
+        self.rate = rate
+        self.round_id = round_id
+        self.pool_address = CONTRACT_BASE + 0x600
+        self.feed_address = CONTRACT_BASE + 0x601
+        self.users: List[int] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        pool_compiled = lending()
+        feed_compiled = pricefeed()
+        world.create_account(self.pool_address, code=pool_compiled.code)
+        world.create_account(self.feed_address, code=feed_compiled.code)
+        # Seed the price feed so collateral valuations resolve.
+        world.get_account(self.feed_address).set_storage(
+            feed_compiled.slot_of("prices", self.round_id), 2000)
+        pool = world.get_account(self.pool_address)
+        pool.set_storage(pool_compiled.slot_of("priceFeed"),
+                         self.feed_address)
+        pool.set_storage(pool_compiled.slot_of("activeRound"),
+                         self.round_id)
+        pool.set_storage(pool_compiled.slot_of("totalSupplied"), 10**15)
+        pool.set_storage(pool_compiled.slot_of("borrowIndex"), 10_000_000)
+        self.users = fund_senders(world, SENDER_BASE + 0x7000,
+                                  self.users_count)
+        for user in self.users:
+            pool.set_storage(
+                pool_compiled.slot_of("collateral", user), 10**9)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = lending()
+        intents: List[TxIntent] = []
+        debt: dict = {}
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            user = rng.choice(self.users)
+            roll = rng.random()
+            if roll < 0.25:
+                data = compiled.calldata("accrue")
+            elif roll < 0.50:
+                data = compiled.calldata("supply", rng.randint(100, 10**6))
+            elif roll < 0.85:
+                amount = rng.randint(100, 10**6)
+                data = compiled.calldata("borrow", amount)
+                debt[user] = debt.get(user, 0) + amount
+            else:
+                owed = debt.get(user, 0)
+                if owed == 0:
+                    data = compiled.calldata("accrue")
+                else:
+                    amount = rng.randint(1, owed)
+                    data = compiled.calldata("repay", amount)
+                    debt[user] = owed - amount
+            intents.append(TxIntent(
+                time=when, sender=user, to=self.pool_address,
+                data=data, gas_price=prices.sample(rng),
+                gas_limit=300_000, kind="lending",
+            ))
+        return intents

@@ -1,0 +1,73 @@
+"""Registry workload: name registrations, including batch loops.
+
+``registerMany`` unrolls a storage-write loop per iteration, producing
+the long traces that dominate the right side of Figure 13 (speedup
+grows with gas used).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.registry import registry
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class RegistryWorkload:
+    """Single and batch registrations against one registry contract."""
+
+    def __init__(self, users: int = 20, rate: float = 0.25,
+                 batch_probability: float = 0.4,
+                 max_batch: int = 64) -> None:
+        self.users_count = users
+        self.rate = rate
+        self.batch_probability = batch_probability
+        self.max_batch = max_batch
+        self.registry_address = CONTRACT_BASE + 0x500
+        self.users: List[int] = []
+        self._next_name = 1
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        compiled = registry()
+        world.create_account(self.registry_address, code=compiled.code)
+        self.users = fund_senders(world, SENDER_BASE + 0x6000,
+                                  self.users_count)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = registry()
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            sender = rng.choice(self.users)
+            if rng.random() < self.batch_probability:
+                # Exponential batch sizes: mostly small, occasionally
+                # huge (mainnet's heavy-tailed airdrop/batch traffic —
+                # the source of Figure 12's >=50x speedup tail).
+                count = min(self.max_batch,
+                            4 + int(rng.expovariate(1 / 12.0)))
+                base_name = self._next_name
+                self._next_name += count
+                data = compiled.calldata("registerMany", base_name, count)
+                gas_limit = 100_000 + 60_000 * count
+            else:
+                name = self._next_name
+                self._next_name += 1
+                data = compiled.calldata("register", name)
+                gas_limit = 180_000
+            intents.append(TxIntent(
+                time=when, sender=sender, to=self.registry_address,
+                data=data, gas_price=prices.sample(rng),
+                gas_limit=gas_limit, kind="registry",
+            ))
+        return intents

@@ -1,0 +1,82 @@
+"""Oracle price-feed workload (the paper's §4.2 scenario).
+
+Several PriceFeed contracts, each with a set of independent reporters.
+Every 300-second round, each reporter submits an observed price within
+the first part of the round.  Submissions to the same feed and round
+are *inter-dependent* (they read and write the same prices/counts
+slots), and their block timestamp decides round validity — exactly the
+two context-variation axes of Figure 5.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.constants import ORACLE_ROUND_SECONDS
+from repro.contracts.pricefeed import pricefeed
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class OracleWorkload:
+    """Price submissions into round-based feeds."""
+
+    def __init__(self, feeds: int = 2, reporters_per_feed: int = 5,
+                 base_price: int = 2000,
+                 submit_window: float = 120.0) -> None:
+        self.feeds = feeds
+        self.reporters_per_feed = reporters_per_feed
+        self.base_price = base_price
+        self.submit_window = submit_window
+        self.feed_addresses: List[int] = []
+        self.reporters: List[List[int]] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        compiled = pricefeed()
+        for feed_index in range(self.feeds):
+            address = CONTRACT_BASE + 0x100 + feed_index
+            world.create_account(address, code=compiled.code)
+            self.feed_addresses.append(address)
+            senders = fund_senders(
+                world,
+                SENDER_BASE + 0x1000 + feed_index * 0x100,
+                self.reporters_per_feed)
+            self.reporters.append(senders)
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = pricefeed()
+        intents: List[TxIntent] = []
+        first_round = (int(start_time) // ORACLE_ROUND_SECONDS
+                       ) * ORACLE_ROUND_SECONDS
+        round_start = first_round
+        while round_start < start_time + duration:
+            round_id = round_start
+            for feed_index, feed in enumerate(self.feed_addresses):
+                price = self.base_price + rng.randint(-25, 25)
+                for reporter in self.reporters[feed_index]:
+                    offset = rng.uniform(2.0, self.submit_window)
+                    when = round_start + offset
+                    if when < start_time or when >= start_time + duration:
+                        continue
+                    observed = price + rng.randint(-8, 8)
+                    intents.append(TxIntent(
+                        time=when,
+                        sender=reporter,
+                        to=feed,
+                        data=compiled.calldata("submit", round_id, observed),
+                        gas_price=prices.sample(rng),
+                        gas_limit=200_000,
+                        kind="oracle",
+                    ))
+            round_start += ORACLE_ROUND_SECONDS
+        return intents

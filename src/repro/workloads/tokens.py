@@ -1,0 +1,77 @@
+"""ERC20 token-transfer workload.
+
+A token contract with a population of holders transferring to random
+counterparties.  Most transfers touch disjoint balance slots, so they
+are mutually independent — the high-coverage end of the spectrum.  A
+configurable "hot receiver" fraction (exchange deposit addresses)
+introduces mild inter-dependence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.contracts.erc20 import erc20
+from repro.state.world import WorldState
+from repro.workloads.base import (
+    CONTRACT_BASE,
+    SENDER_BASE,
+    TxIntent,
+    fund_senders,
+    poisson_times,
+)
+from repro.workloads.gasprice import GasPriceModel
+
+
+class TokenWorkload:
+    """Random ERC20 transfers at a Poisson rate."""
+
+    def __init__(self, holders: int = 60, rate: float = 1.2,
+                 hot_receiver_probability: float = 0.25) -> None:
+        self.holders = holders
+        self.rate = rate
+        self.hot_receiver_probability = hot_receiver_probability
+        self.token_address = CONTRACT_BASE + 0x200
+        self.hot_receivers: List[int] = []
+        self.accounts: List[int] = []
+
+    def prepare(self, world: WorldState) -> None:
+        """Deploy this workload's contracts and fund its senders."""
+        compiled = erc20()
+        world.create_account(self.token_address, code=compiled.code)
+        self.accounts = fund_senders(
+            world, SENDER_BASE + 0x2000, self.holders)
+        token = world.get_account(self.token_address)
+        for holder in self.accounts:
+            token.set_storage(
+                compiled.slot_of("balanceOf", holder), 10**12)
+        token.set_storage(compiled.slot_of("totalSupply"),
+                          10**12 * self.holders)
+        self.hot_receivers = self.accounts[:max(1, self.holders // 20)]
+
+    def events(self, rng: random.Random, start_time: float,
+               duration: float, prices: GasPriceModel) -> List[TxIntent]:
+        """Generate this workload's timed transaction intents."""
+        compiled = erc20()
+        intents: List[TxIntent] = []
+        for when in poisson_times(rng, self.rate, duration, start_time):
+            sender = rng.choice(self.accounts)
+            if rng.random() < self.hot_receiver_probability:
+                receiver = rng.choice(self.hot_receivers)
+            else:
+                receiver = rng.choice(self.accounts)
+            if receiver == sender:
+                receiver = self.accounts[
+                    (self.accounts.index(sender) + 1) % len(self.accounts)]
+            amount = rng.randint(1, 10**6)
+            intents.append(TxIntent(
+                time=when,
+                sender=sender,
+                to=self.token_address,
+                data=compiled.calldata("transfer", receiver, amount),
+                gas_price=prices.sample(rng),
+                gas_limit=120_000,
+                kind="token",
+            ))
+        return intents

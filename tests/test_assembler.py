@@ -1,0 +1,101 @@
+"""Assembler / disassembler tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.evm.assembler import assemble, disassemble, format_disassembly
+from repro.evm.opcodes import Op
+
+
+def test_simple_program():
+    code = assemble("PUSH 1\nPUSH 2\nADD")
+    assert code == bytes([0x60, 1, 0x60, 2, int(Op.ADD)])
+
+
+def test_push_width_selection():
+    code = assemble("PUSH 0x1234")
+    assert code[0] == 0x61  # PUSH2
+    assert code[1:3] == b"\x12\x34"
+
+
+def test_push_zero():
+    assert assemble("PUSH 0") == bytes([0x60, 0])
+
+
+def test_explicit_width():
+    code = assemble("PUSH4 7")
+    assert code[0] == 0x63
+    assert code[1:5] == b"\x00\x00\x00\x07"
+
+
+def test_explicit_width_overflow():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH1 256")
+
+
+def test_labels_and_jumps():
+    code = assemble("""
+        PUSH 1
+        PUSH @end
+        JUMPI
+        PUSH 0
+    end:
+        JUMPDEST
+        STOP
+    """)
+    listing = disassemble(code)
+    names = [name for _, name, _ in listing]
+    assert "JUMPI" in names and "JUMPDEST" in names
+    # The label reference resolves to the JUMPDEST position.
+    push2 = [(pc, imm) for pc, name, imm in listing if name == "PUSH2"]
+    dest_pc = [pc for pc, name, _ in listing if name == "JUMPDEST"][0]
+    assert push2[0][1] == dest_pc
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("a:\nJUMPDEST\na:\nJUMPDEST")
+
+
+def test_undefined_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH @nowhere\nJUMP")
+
+
+def test_unknown_mnemonic():
+    with pytest.raises(AssemblerError):
+        assemble("FROBNICATE")
+
+
+def test_comments_ignored():
+    code = assemble("PUSH 1 ; comment\n; full line\nSTOP")
+    assert code == bytes([0x60, 1, 0x00])
+
+
+def test_operand_on_plain_op_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("ADD 3")
+
+
+def test_bad_literal():
+    with pytest.raises(AssemblerError):
+        assemble("PUSH banana")
+
+
+def test_disassemble_roundtrip():
+    source = "PUSH 5\nDUP1\nMUL\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN"
+    code = assemble(source)
+    listing = disassemble(code)
+    assert [n for _, n, _ in listing] == [
+        "PUSH1", "DUP1", "MUL", "PUSH1", "MSTORE", "PUSH1", "PUSH1",
+        "RETURN"]
+
+
+def test_disassemble_unknown_byte():
+    listing = disassemble(b"\xef")
+    assert listing[0][1].startswith("UNKNOWN")
+
+
+def test_format_disassembly():
+    text = format_disassembly(assemble("PUSH 1\nSTOP"))
+    assert "PUSH1 0x1" in text and "STOP" in text

@@ -1,0 +1,74 @@
+"""CLI smoke tests (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_synthesize_prints_ap(capsys):
+    assert main(["synthesize"]) == 0
+    out = capsys.readouterr().out
+    assert "TIMESTAMP" in out
+    assert "GUARD" in out
+    assert "SSTORE" in out
+
+
+def test_synthesize_fresh_round(capsys):
+    # A timestamp outside the seeded round traces the revert path.
+    assert main(["synthesize", "--timestamp", "4000000"]) == 0
+    out = capsys.readouterr().out
+    assert "GUARD" in out
+
+
+def test_history(capsys):
+    assert main(["history", "--months", "12", "--step", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "gas limit" in out
+
+
+def test_compile(tmp_path, capsys):
+    source = tmp_path / "counter.sol"
+    source.write_text("""
+        contract Counter {
+            uint256 public count;
+            function bump(uint256 by) public { count = count + by; }
+        }
+    """)
+    assert main(["compile", str(source), "--disassemble"]) == 0
+    out = capsys.readouterr().out
+    assert "contract Counter" in out
+    assert "bump(uint256)" in out
+    assert "slot 0: count" in out
+    assert "SSTORE" in out
+
+
+def test_simulate_tiny(capsys):
+    assert main(["simulate", "--duration", "30", "--seed", "9"]) == 0
+    out = capsys.readouterr().out
+    assert "Merkle roots matched" in out
+    assert "Forerunner" in out
+
+
+def test_synthesize_merged_tree(capsys):
+    assert main(["synthesize", "--merged"]) == 0
+    out = capsys.readouterr().out
+    assert "branch True" in out
+    assert "branch False" in out
+    assert "TERMINAL" in out
+    assert "shortcut" in out
+
+
+def test_record_and_replay_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "period.json")
+    assert main(["record", "--out", path, "--duration", "30",
+                 "--seed", "4", "--name", "T"]) == 0
+    assert main(["replay", path]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out
+    assert "roots matched" in out
+    assert "effective speedup" in out

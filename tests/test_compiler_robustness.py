@@ -1,0 +1,74 @@
+"""Compiler robustness: malformed input must raise CompileError (or
+AssemblerError), never anything else."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError, CompileError
+from repro.minisol import compile_contract
+from repro.minisol.lexer import tokenize
+from repro.minisol.parser import parse
+
+TOKENS = ["contract", "C", "{", "}", "(", ")", "uint256", "public",
+          "function", "f", "x", ";", "=", "+", "if", "else", "return",
+          "mapping", "=>", "[", "]", "require", "7", "while", ",",
+          "emit", "event", "private", "returns", "for", "+="]
+
+
+@settings(max_examples=200)
+@given(st.lists(st.sampled_from(TOKENS), max_size=30))
+def test_parser_never_crashes(soup):
+    source = " ".join(soup)
+    try:
+        parse(source)
+    except CompileError:
+        pass  # rejection is the expected failure mode
+
+
+@settings(max_examples=100)
+@given(st.text(max_size=60))
+def test_lexer_never_crashes(text):
+    try:
+        tokenize(text)
+    except CompileError:
+        pass
+
+
+@settings(max_examples=80)
+@given(st.lists(st.sampled_from(TOKENS), max_size=40))
+def test_compile_never_crashes(soup):
+    source = "contract C { " + " ".join(soup) + " }"
+    try:
+        compile_contract(source)
+    except (CompileError, AssemblerError):
+        pass
+
+
+@pytest.mark.parametrize("source", [
+    "",                                  # empty
+    "contract",                          # truncated
+    "contract C {",                      # unterminated
+    "contract C { uint256 }",            # missing name
+    "contract C { function () public {} }",   # missing fn name
+    "contract C { mapping(mapping(uint256=>uint256) => uint256) m; }",
+    "contract C { function f() public { x = ; } }",
+    "contract C { function f() public { if () {} } }",
+    "contract C { function f() public { for (;;) {} } }",
+])
+def test_malformed_sources_rejected(source):
+    with pytest.raises(CompileError):
+        compile_contract(source)
+
+
+def test_deeply_nested_expressions_compile():
+    expr = "1"
+    for _ in range(40):
+        expr = f"({expr} + 1)"
+    source = f"""
+    contract D {{
+        function f() public returns (uint256) {{ return {expr}; }}
+    }}
+    """
+    compiled = compile_contract(source)
+    assert compiled.code

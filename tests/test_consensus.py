@@ -1,0 +1,121 @@
+"""Consensus model tests: PoW schedule, packing, miner views."""
+
+import random
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader
+from repro.chain.transaction import Transaction
+from repro.consensus.miner import Miner
+from repro.consensus.packing import pack_block
+from repro.consensus.pow import PowSchedule
+
+
+def tx(sender=1, nonce=0, price=100, gas_limit=50_000, origin_miner=None):
+    return Transaction(sender=sender, to=0xC, nonce=nonce,
+                       gas_price=price, gas_limit=gas_limit,
+                       origin_miner=origin_miner)
+
+
+class TestPow:
+    def test_intervals_roughly_exponential(self):
+        schedule = PowSchedule({1: 1.0, 2: 1.0}, mean_interval=13.0,
+                               seed=3)
+        now = 0.0
+        times = []
+        for _ in range(600):
+            nxt, _ = schedule.next_block(now)
+            times.append(nxt - now)
+            now = nxt
+        mean = sum(times) / len(times)
+        assert 10.0 < mean < 16.0
+
+    def test_miner_selection_proportional(self):
+        schedule = PowSchedule({1: 3.0, 2: 1.0}, seed=5)
+        wins = {1: 0, 2: 0}
+        now = 0.0
+        for _ in range(2000):
+            now, winner = schedule.next_block(now)
+            wins[winner] += 1
+        ratio = wins[1] / wins[2]
+        assert 2.2 < ratio < 4.0  # ~3x hash power
+
+    def test_no_dominant_miner_with_flat_power(self):
+        """The many-future premise: no miner dominates (paper §2)."""
+        schedule = PowSchedule({i: 1.0 for i in range(8)}, seed=9)
+        wins = {i: 0 for i in range(8)}
+        now = 0.0
+        for _ in range(4000):
+            now, winner = schedule.next_block(now)
+            wins[winner] += 1
+        assert max(wins.values()) / 4000 < 0.25
+
+    def test_competing_miner_differs(self):
+        schedule = PowSchedule({1: 1.0, 2: 1.0}, seed=1)
+        assert schedule.competing_miner(1) == 2
+
+
+class TestPacking:
+    def test_price_priority(self):
+        txs = [tx(sender=i + 1, price=p)
+               for i, p in enumerate([50, 500, 100])]
+        packed = pack_block(txs, {})
+        assert [t.gas_price for t in packed] == [500, 100, 50]
+
+    def test_gas_limit_respected(self):
+        txs = [tx(sender=i + 1, gas_limit=60_000) for i in range(5)]
+        packed = pack_block(txs, {}, gas_limit=150_000)
+        assert len(packed) == 2
+
+    def test_nonce_ordering_within_sender(self):
+        txs = [tx(nonce=2, price=900), tx(nonce=0, price=10),
+               tx(nonce=1, price=500)]
+        packed = pack_block(txs, {1: 0})
+        assert [t.nonce for t in packed] == [0, 1, 2]
+
+    def test_future_nonce_deferred(self):
+        txs = [tx(nonce=5)]
+        packed = pack_block(txs, {1: 0})
+        assert packed == []
+
+    def test_self_priority(self):
+        own = tx(sender=1, price=1, origin_miner=0xE0)
+        rich = tx(sender=2, price=10**12)
+        packed = pack_block([own, rich], {}, miner_id=0xE0)
+        assert packed[0] is own
+
+    def test_tie_break_varies_with_rng(self):
+        txs = [tx(sender=i + 1, price=100) for i in range(6)]
+        a = pack_block(txs, {}, rng=random.Random(1))
+        b = pack_block(txs, {}, rng=random.Random(2))
+        assert [t.hash for t in a] != [t.hash for t in b]
+
+    def test_exclude_set(self):
+        t1, t2 = tx(sender=1), tx(sender=2)
+        packed = pack_block([t1, t2], {}, exclude={t1.hash})
+        assert packed == [t2]
+
+
+class TestMiner:
+    def test_visibility_by_arrival_time(self):
+        miner = Miner(miner_id=0xE0)
+        t1, t2 = tx(sender=1), tx(sender=2)
+        miner.hear(t1, 5.0)
+        miner.hear(t2, 50.0)
+        visible = miner.visible_at(10.0, set())
+        assert [t.hash for t in visible] == [t1.hash]
+
+    def test_infinite_arrival_never_heard(self):
+        miner = Miner(miner_id=0xE0)
+        miner.hear(tx(), float("inf"))
+        assert miner.visible_at(10**9, set()) == []
+
+    def test_build_block_monotone_timestamp(self):
+        miner = Miner(miner_id=0xE0, clock_skew=-100.0)
+        genesis = Block(header=BlockHeader(number=0, timestamp=50,
+                                           coinbase=0))
+        block = miner.build_block(10.0, genesis, {}, set())
+        assert block.header.timestamp > genesis.header.timestamp
+        assert block.header.parent_hash == genesis.hash
+        assert block.number == 1
+        assert block.miner_id == 0xE0

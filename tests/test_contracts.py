@@ -1,0 +1,331 @@
+"""Behavioural tests for the contract library."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import amm, auction, erc20, pricefeed, registry
+from repro.evm.interpreter import EVM
+from repro.minisol import decode_uint
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+from tests.conftest import (
+    ALICE,
+    AUCTION_ADDR,
+    BOB,
+    FEED,
+    POOL,
+    REGISTRY_ADDR,
+    ROUND,
+    TOKEN,
+    TOKEN1,
+)
+
+
+def send(world, sender, to, data, *, nonce=0, timestamp=3990462):
+    state = StateDB(world)
+    tx = Transaction(sender=sender, to=to, data=data, nonce=nonce)
+    header = BlockHeader(number=1, timestamp=timestamp, coinbase=0xBEEF)
+    result = EVM(state, header, tx).execute_transaction()
+    state.commit()
+    return result
+
+
+# -- PriceFeed (paper Figure 4) ----------------------------------------------
+
+class TestPriceFeed:
+    def test_first_submission_opens_round(self, world):
+        pf = pricefeed()
+        result = send(world, ALICE, FEED,
+                      pf.calldata("submit", ROUND, 1980))
+        assert result.success
+        feed = world.get_account(FEED)
+        assert feed.get_storage(pf.slot_of("activeRoundID")) == ROUND
+        assert feed.get_storage(pf.slot_of("prices", ROUND)) == 1980
+        assert feed.get_storage(
+            pf.slot_of("submissionCounts", ROUND)) == 1
+
+    def test_later_submission_averages(self, oracle_world):
+        pf = pricefeed()
+        # FC1 state: price 2000, count 4.  1980 arrives -> avg 1996.
+        result = send(oracle_world, ALICE, FEED,
+                      pf.calldata("submit", ROUND, 1980))
+        assert result.success
+        feed = oracle_world.get_account(FEED)
+        assert feed.get_storage(pf.slot_of("prices", ROUND)) == 1996
+        assert feed.get_storage(
+            pf.slot_of("submissionCounts", ROUND)) == 5
+
+    def test_stale_round_reverts(self, oracle_world):
+        pf = pricefeed()
+        result = send(oracle_world, ALICE, FEED,
+                      pf.calldata("submit", ROUND, 1980),
+                      timestamp=ROUND + 600)
+        assert not result.success
+
+    def test_round_boundaries(self, world):
+        pf = pricefeed()
+        # Last second of the round is still valid.
+        result = send(world, ALICE, FEED,
+                      pf.calldata("submit", ROUND, 5),
+                      timestamp=ROUND + 299)
+        assert result.success
+        result = send(world, BOB, FEED,
+                      pf.calldata("submit", ROUND, 5),
+                      timestamp=ROUND + 300)
+        assert not result.success
+
+
+# -- ERC20 ----------------------------------------------------------------------
+
+class TestToken:
+    def _fund(self, world, holder, amount):
+        token = erc20()
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("balanceOf", holder), amount)
+
+    def test_transfer_moves_balance(self, world):
+        token = erc20()
+        self._fund(world, ALICE, 1000)
+        result = send(world, ALICE, TOKEN,
+                      token.calldata("transfer", BOB, 300))
+        assert result.success and decode_uint(result.return_data) == 1
+        account = world.get_account(TOKEN)
+        assert account.get_storage(token.slot_of("balanceOf", ALICE)) == 700
+        assert account.get_storage(token.slot_of("balanceOf", BOB)) == 300
+
+    def test_transfer_insufficient_reverts(self, world):
+        token = erc20()
+        self._fund(world, ALICE, 10)
+        result = send(world, ALICE, TOKEN,
+                      token.calldata("transfer", BOB, 300))
+        assert not result.success
+
+    def test_transfer_emits_event(self, world):
+        token = erc20()
+        self._fund(world, ALICE, 1000)
+        result = send(world, ALICE, TOKEN,
+                      token.calldata("transfer", BOB, 1))
+        assert len(result.logs) == 1
+
+    def test_approve_and_transfer_from(self, world):
+        token = erc20()
+        self._fund(world, ALICE, 1000)
+        send(world, ALICE, TOKEN, token.calldata("approve", BOB, 500))
+        result = send(world, BOB, TOKEN,
+                      token.calldata("transferFrom", ALICE, BOB, 400))
+        assert result.success
+        account = world.get_account(TOKEN)
+        assert account.get_storage(
+            token.slot_of("allowance", ALICE, BOB)) == 100
+        assert account.get_storage(token.slot_of("balanceOf", BOB)) == 400
+
+    def test_transfer_from_over_allowance_reverts(self, world):
+        token = erc20()
+        self._fund(world, ALICE, 1000)
+        send(world, ALICE, TOKEN, token.calldata("approve", BOB, 100))
+        result = send(world, BOB, TOKEN,
+                      token.calldata("transferFrom", ALICE, BOB, 400))
+        assert not result.success
+
+    def test_mint(self, world):
+        token = erc20()
+        result = send(world, ALICE, TOKEN,
+                      token.calldata("mint", BOB, 777))
+        assert result.success
+        account = world.get_account(TOKEN)
+        assert account.get_storage(token.slot_of("totalSupply")) == 777
+
+
+# -- AMM --------------------------------------------------------------------------
+
+class TestAmm:
+    def _setup_pool(self, world, r0=10**6, r1=10**6):
+        pool = amm()
+        token = erc20()
+        account = world.get_account(POOL)
+        account.set_storage(pool.slot_of("reserve0"), r0)
+        account.set_storage(pool.slot_of("reserve1"), r1)
+        account.set_storage(pool.slot_of("token0"), TOKEN)
+        account.set_storage(pool.slot_of("token1"), TOKEN1)
+        account.set_storage(pool.slot_of("selfAddr"), POOL)
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("balanceOf", ALICE), 10**9)
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("allowance", ALICE, POOL), 10**18)
+        world.get_account(TOKEN1).set_storage(
+            token.slot_of("balanceOf", POOL), 10**9)
+
+    def test_swap_constant_product(self, world):
+        self._setup_pool(world)
+        pool = amm()
+        result = send(world, ALICE, POOL,
+                      pool.calldata("swap0to1", 1000, 0))
+        assert result.success
+        amount_in_fee = 1000 * 997
+        expected = amount_in_fee * 10**6 // (10**6 * 1000 + amount_in_fee)
+        assert decode_uint(result.return_data) == expected
+        account = world.get_account(POOL)
+        assert account.get_storage(pool.slot_of("reserve0")) == 10**6 + 1000
+        assert account.get_storage(pool.slot_of("reserve1")) == \
+            10**6 - expected
+
+    def test_swap_respects_min_out(self, world):
+        self._setup_pool(world)
+        pool = amm()
+        result = send(world, ALICE, POOL,
+                      pool.calldata("swap0to1", 1000, 10**9))
+        assert not result.success
+
+    def test_zero_amount_rejected(self, world):
+        self._setup_pool(world)
+        pool = amm()
+        result = send(world, ALICE, POOL,
+                      pool.calldata("swap0to1", 0, 0))
+        assert not result.success
+
+    def test_swap_order_changes_outputs(self, world):
+        """Dense inter-dependence: order of two swaps changes results."""
+        pool = amm()
+        token = erc20()
+        self._setup_pool(world)
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("balanceOf", BOB), 10**9)
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("allowance", BOB, POOL), 10**18)
+        world_b = world.copy()
+        # Order A: Alice then Bob.
+        r1 = send(world, ALICE, POOL, pool.calldata("swap0to1", 5000, 0))
+        r2 = send(world, BOB, POOL, pool.calldata("swap0to1", 5000, 0))
+        # Order B: Bob then Alice.
+        r3 = send(world_b, BOB, POOL, pool.calldata("swap0to1", 5000, 0))
+        r4 = send(world_b, ALICE, POOL, pool.calldata("swap0to1", 5000, 0))
+        assert decode_uint(r2.return_data) < decode_uint(r1.return_data)
+        assert decode_uint(r4.return_data) == decode_uint(r2.return_data)
+
+
+# -- Auction -----------------------------------------------------------------------
+
+class TestAuction:
+    def _setup(self, world, deadline=5000):
+        compiled = auction()
+        world.get_account(AUCTION_ADDR).set_storage(
+            compiled.slot_of("deadline"), deadline)
+        return compiled
+
+    def test_first_bid(self, world):
+        compiled = self._setup(world)
+        result = send(world, ALICE, AUCTION_ADDR,
+                      compiled.calldata("bid", 100), timestamp=1000)
+        assert result.success
+        account = world.get_account(AUCTION_ADDR)
+        assert account.get_storage(compiled.slot_of("highBid")) == 100
+        assert account.get_storage(
+            compiled.slot_of("highBidder")) == ALICE
+
+    def test_outbid_credits_refund(self, world):
+        compiled = self._setup(world)
+        send(world, ALICE, AUCTION_ADDR, compiled.calldata("bid", 100),
+             timestamp=1000)
+        result = send(world, BOB, AUCTION_ADDR,
+                      compiled.calldata("bid", 150), timestamp=1001)
+        assert result.success
+        account = world.get_account(AUCTION_ADDR)
+        assert account.get_storage(
+            compiled.slot_of("refunds", ALICE)) == 100
+        assert len(result.logs) == 2  # Outbid + NewHighBid
+
+    def test_low_bid_rejected(self, world):
+        compiled = self._setup(world)
+        send(world, ALICE, AUCTION_ADDR, compiled.calldata("bid", 100),
+             timestamp=1000)
+        result = send(world, BOB, AUCTION_ADDR,
+                      compiled.calldata("bid", 100), timestamp=1001)
+        assert not result.success
+
+    def test_bid_after_deadline_rejected(self, world):
+        compiled = self._setup(world, deadline=500)
+        result = send(world, ALICE, AUCTION_ADDR,
+                      compiled.calldata("bid", 100), timestamp=501)
+        assert not result.success
+
+    def test_settle_only_after_deadline(self, world):
+        compiled = self._setup(world, deadline=500)
+        early = send(world, ALICE, AUCTION_ADDR,
+                     compiled.calldata("settle"), timestamp=499)
+        assert not early.success
+        late = send(world, ALICE, AUCTION_ADDR,
+                    compiled.calldata("settle"), timestamp=500, nonce=1)
+        assert late.success
+        again = send(world, BOB, AUCTION_ADDR,
+                     compiled.calldata("settle"), timestamp=501)
+        assert not again.success
+
+
+# -- Registry ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_register(self, world):
+        compiled = registry()
+        result = send(world, ALICE, REGISTRY_ADDR,
+                      compiled.calldata("register", 777))
+        assert result.success
+        account = world.get_account(REGISTRY_ADDR)
+        assert account.get_storage(
+            compiled.slot_of("ownerOf", 777)) == ALICE
+        assert account.get_storage(
+            compiled.slot_of("registrations")) == 1
+
+    def test_register_taken_name_reverts(self, world):
+        compiled = registry()
+        send(world, ALICE, REGISTRY_ADDR, compiled.calldata("register", 1))
+        result = send(world, BOB, REGISTRY_ADDR,
+                      compiled.calldata("register", 1))
+        assert not result.success
+
+    def test_register_many_loop(self, world):
+        compiled = registry()
+        result = send(world, ALICE, REGISTRY_ADDR,
+                      compiled.calldata("registerMany", 100, 8))
+        assert result.success
+        account = world.get_account(REGISTRY_ADDR)
+        for i in range(8):
+            assert account.get_storage(
+                compiled.slot_of("ownerOf", 100 + i)) == ALICE
+        assert account.get_storage(
+            compiled.slot_of("holdings", ALICE)) == 8
+
+    def test_register_paid_pulls_fee(self, world):
+        compiled = registry()
+        token = erc20()
+        sink = 0x511C
+        account = world.get_account(REGISTRY_ADDR)
+        account.set_storage(compiled.slot_of("feeToken"), TOKEN)
+        account.set_storage(compiled.slot_of("feeSink"), sink)
+        world.get_account(TOKEN).set_storage(
+            token.slot_of("balanceOf", REGISTRY_ADDR), 100)
+        result = send(world, ALICE, REGISTRY_ADDR,
+                      compiled.calldata("registerPaid", 55))
+        assert result.success
+        token_account = world.get_account(TOKEN)
+        assert token_account.get_storage(
+            token.slot_of("balanceOf", sink)) == 1
+        assert token_account.get_storage(
+            token.slot_of("balanceOf", REGISTRY_ADDR)) == 99
+
+    def test_transfer_name(self, world):
+        compiled = registry()
+        send(world, ALICE, REGISTRY_ADDR, compiled.calldata("register", 9))
+        result = send(world, ALICE, REGISTRY_ADDR,
+                      compiled.calldata("transferName", 9, BOB), nonce=1)
+        assert result.success
+        account = world.get_account(REGISTRY_ADDR)
+        assert account.get_storage(compiled.slot_of("ownerOf", 9)) == BOB
+
+    def test_transfer_name_requires_ownership(self, world):
+        compiled = registry()
+        send(world, ALICE, REGISTRY_ADDR, compiled.calldata("register", 9))
+        result = send(world, BOB, REGISTRY_ADDR,
+                      compiled.calldata("transferName", 9, BOB))
+        assert not result.success

@@ -1,0 +1,186 @@
+"""Contract deployment: CREATE, CODECOPY, and deployment transactions."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import pricefeed
+from repro.core.node import BaselineNode, ForerunnerNode
+from repro.core.speculator import FutureContext, Speculator
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import EVM
+from repro.minisol import compile_contract, decode_uint
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+SENDER = 0xDE
+
+COUNTER_SOURCE = """
+contract Counter {
+    uint256 public count;
+    function bump(uint256 by) public { count += by; }
+}
+"""
+
+
+def deploy(world, compiled, nonce=0):
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=0, data=compiled.deploy_code(),
+                     nonce=nonce, gas_limit=2_000_000)
+    result = EVM(state, BlockHeader(1, 1, 0xB), tx).execute_transaction()
+    state.commit()
+    address = int.from_bytes(result.return_data, "big")
+    return result, address
+
+
+def test_deployment_tx_installs_runtime_code():
+    compiled = compile_contract(COUNTER_SOURCE)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    result, address = deploy(world, compiled)
+    assert result.success
+    assert world.get_account(address).code == compiled.code
+
+
+def test_deployed_contract_is_callable():
+    compiled = compile_contract(COUNTER_SOURCE)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    _, address = deploy(world, compiled)
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=address,
+                     data=compiled.calldata("bump", 5), nonce=1)
+    result = EVM(state, BlockHeader(1, 2, 0xB), tx).execute_transaction()
+    state.commit()
+    assert result.success
+    assert world.get_account(address).get_storage(
+        compiled.slot_of("count")) == 5
+
+
+def test_deployment_addresses_unique_per_nonce():
+    compiled = compile_contract(COUNTER_SOURCE)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    _, addr0 = deploy(world, compiled, nonce=0)
+    _, addr1 = deploy(world, compiled, nonce=1)
+    assert addr0 != addr1
+    assert world.get_account(addr0).code == compiled.code
+    assert world.get_account(addr1).code == compiled.code
+
+
+def test_failed_init_reverts_deployment():
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    init = assemble("PUSH 0\nPUSH 0\nREVERT")
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=0, data=init, nonce=0,
+                     gas_limit=1_000_000)
+    result = EVM(state, BlockHeader(1, 1, 0xB), tx).execute_transaction()
+    assert not result.success
+    assert result.gas_used > 0  # gas still consumed
+    assert state.get_nonce(SENDER) == 1
+
+
+def test_create_opcode_from_contract():
+    """A factory contract deploying a child via CREATE."""
+    child_runtime = assemble("PUSH 42\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN")
+    # Init code returning the child runtime via CODECOPY.
+    init = bytes([
+        0x61, *len(child_runtime).to_bytes(2, "big"),
+        0x61, 0x00, 0x0F,
+        0x60, 0x00,
+        0x39,
+        0x61, *len(child_runtime).to_bytes(2, "big"),
+        0x60, 0x00,
+        0xF3,
+    ]) + child_runtime
+    # Factory: stores init code in memory, CREATEs, returns the address.
+    factory_lines = []
+    for i in range(0, len(init), 32):
+        word = init[i:i + 32].ljust(32, b"\x00")
+        factory_lines += [f"PUSH {int.from_bytes(word, 'big')}",
+                          f"PUSH {i}", "MSTORE"]
+    factory_lines += [
+        f"PUSH {len(init)}",  # size
+        "PUSH 0",             # offset
+        "PUSH 0",             # value
+        "CREATE",
+        "PUSH 0", "MSTORE", "PUSH 32", "PUSH 0", "RETURN",
+    ]
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    world.create_account(0xFAC, code=assemble("\n".join(factory_lines)))
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=0xFAC, nonce=0,
+                     gas_limit=2_000_000)
+    result = EVM(state, BlockHeader(1, 1, 0xB), tx).execute_transaction()
+    state.commit()
+    assert result.success
+    child = decode_uint(result.return_data)
+    assert child != 0
+    assert world.get_account(child).code == child_runtime
+    # The child is callable.
+    state = StateDB(world)
+    tx2 = Transaction(sender=SENDER, to=child, nonce=1)
+    result2 = EVM(state, BlockHeader(1, 2, 0xB), tx2) \
+        .execute_transaction()
+    assert decode_uint(result2.return_data) == 42
+
+
+def test_deployment_not_speculated_but_executes_in_nodes():
+    """Deployment txs degrade gracefully: no AP, identical state on
+    both node types."""
+    compiled = compile_contract(COUNTER_SOURCE)
+
+    def fresh():
+        world = WorldState()
+        world.create_account(SENDER, balance=10**24)
+        return world
+
+    tx = Transaction(sender=SENDER, to=0, data=compiled.deploy_code(),
+                     nonce=0, gas_limit=2_000_000)
+    speculator = Speculator(fresh())
+    assert speculator.speculate(
+        tx, FutureContext(1, BlockHeader(1, 1, 0xB))) is None
+    assert any("deployment" in (r.error or "")
+               for r in speculator.records)
+
+    from repro.chain.block import Block
+    block = Block(header=BlockHeader(number=1, timestamp=5,
+                                     coinbase=0xE0), transactions=[tx])
+    baseline = BaselineNode(fresh())
+    fore = ForerunnerNode(fresh())
+    fore.on_transaction(tx, now=0.0)
+    fore.run_speculation(0.5)
+    base_report = baseline.process_block(block)
+    fore_report = fore.process_block(block, now=1.0)
+    assert base_report.state_root == fore_report.state_root
+    assert fore_report.records[0].outcome == "no_ap"
+
+
+def test_inner_create_makes_trace_unspecializable():
+    """A transaction whose trace hits CREATE gets no AP (graceful)."""
+    init = bytes([0x60, 0x00, 0x60, 0x00, 0xF3])  # returns empty code
+    init_word = int.from_bytes(init + b"\x00" * (32 - len(init)), "big")
+    factory = assemble(f"""
+        PUSH {init_word}
+        PUSH 0
+        MSTORE
+        PUSH {len(init)}
+        PUSH 0
+        PUSH 0
+        CREATE
+        POP
+        STOP
+    """)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    world.create_account(0xFAD, code=factory)
+    tx = Transaction(sender=SENDER, to=0xFAD, nonce=0,
+                     gas_limit=1_000_000)
+    speculator = Speculator(world)
+    path = speculator.speculate(
+        tx, FutureContext(1, BlockHeader(1, 1, 0xB)))
+    assert path is None
+    assert any("creation" in (r.error or "")
+               for r in speculator.records)

@@ -1,0 +1,185 @@
+"""The central correctness property (paper §3, §5.2):
+
+    When the constraints are satisfied in the actual context, executing
+    the specialized fast-path program produces exactly the same result
+    as the original transaction execution — same state root, same gas,
+    same return data, same logs.  When they are violated, the fallback
+    produces it instead.
+
+Property-based: speculate each contract's transactions in random
+contexts, execute in *other* random contexts through the accelerator,
+and compare against a plain EVM execution bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import amm, auction, erc20, pricefeed, registry
+from repro.core.accelerator import TransactionAccelerator
+from repro.core.speculator import FutureContext, Speculator
+from repro.evm.interpreter import EVM
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+from tests.conftest import ALICE, BOB, ROUND
+
+FEED = 0xFEED
+TOKEN = 0x70CE2
+TOKEN1 = 0x70CE3
+POOL = 0xF00
+AUCTION_ADDR = 0xA0C
+
+PF = pricefeed()
+TOK = erc20()
+AMM = amm()
+AUC = auction()
+
+
+def build_world(active_round, price, count, alice_tokens, bob_tokens,
+                reserve0, reserve1, deadline, high_bid):
+    world = WorldState()
+    world.create_account(ALICE, balance=10**24)
+    world.create_account(BOB, balance=10**24)
+    world.create_account(FEED, code=PF.code)
+    world.create_account(TOKEN, code=TOK.code)
+    world.create_account(TOKEN1, code=TOK.code)
+    world.create_account(POOL, code=AMM.code)
+    world.create_account(AUCTION_ADDR, code=AUC.code)
+
+    feed = world.get_account(FEED)
+    feed.set_storage(PF.slot_of("activeRoundID"), active_round)
+    if price:
+        feed.set_storage(PF.slot_of("prices", active_round), price)
+        feed.set_storage(PF.slot_of("submissionCounts", active_round),
+                         count)
+
+    token = world.get_account(TOKEN)
+    token.set_storage(TOK.slot_of("balanceOf", ALICE), alice_tokens)
+    token.set_storage(TOK.slot_of("balanceOf", BOB), bob_tokens)
+    token.set_storage(TOK.slot_of("allowance", ALICE, POOL), 10**18)
+    world.get_account(TOKEN1).set_storage(
+        TOK.slot_of("balanceOf", POOL), 10**15)
+
+    pool = world.get_account(POOL)
+    pool.set_storage(AMM.slot_of("reserve0"), reserve0)
+    pool.set_storage(AMM.slot_of("reserve1"), reserve1)
+    pool.set_storage(AMM.slot_of("token0"), TOKEN)
+    pool.set_storage(AMM.slot_of("token1"), TOKEN1)
+    pool.set_storage(AMM.slot_of("selfAddr"), POOL)
+
+    auction_account = world.get_account(AUCTION_ADDR)
+    auction_account.set_storage(AUC.slot_of("deadline"), deadline)
+    auction_account.set_storage(AUC.slot_of("highBid"), high_bid)
+    if high_bid:
+        auction_account.set_storage(AUC.slot_of("highBidder"), BOB)
+    return world
+
+
+def transactions():
+    return [
+        Transaction(sender=ALICE, to=FEED,
+                    data=PF.calldata("submit", ROUND, 1980), nonce=0),
+        Transaction(sender=ALICE, to=TOKEN,
+                    data=TOK.calldata("transfer", BOB, 500), nonce=0),
+        Transaction(sender=ALICE, to=POOL,
+                    data=AMM.calldata("swap0to1", 1000, 0), nonce=0),
+        Transaction(sender=ALICE, to=AUCTION_ADDR,
+                    data=AUC.calldata("bid", 120), nonce=0),
+    ]
+
+
+world_params = st.tuples(
+    st.sampled_from([ROUND, ROUND - 300, 3990000]),   # active round
+    st.integers(min_value=0, max_value=3000),          # price
+    st.integers(min_value=1, max_value=10),            # count
+    st.integers(min_value=0, max_value=10**6),         # alice tokens
+    st.integers(min_value=0, max_value=10**6),         # bob tokens
+    st.integers(min_value=10**3, max_value=10**9),     # reserve0
+    st.integers(min_value=10**3, max_value=10**9),     # reserve1
+    st.sampled_from([100, ROUND + 150, ROUND + 10**6]),  # deadline
+    st.integers(min_value=0, max_value=200),           # high bid
+)
+
+timestamps = st.sampled_from(
+    [ROUND, ROUND + 60, ROUND + 150, ROUND + 299, ROUND + 300,
+     ROUND + 900])
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec_params=world_params, actual_params=world_params,
+       spec_ts=timestamps, actual_ts=timestamps)
+def test_accelerated_equals_plain(spec_params, actual_params,
+                                  spec_ts, actual_ts):
+    """AP execution must be bit-identical to plain EVM execution in ANY
+    actual context, whether constraints hold (fast path) or not
+    (fallback)."""
+    accelerator = TransactionAccelerator()
+    for tx in transactions():
+        spec_world = build_world(*spec_params)
+        speculator = Speculator(spec_world)
+        speculator.speculate(
+            tx, FutureContext(1, BlockHeader(1, spec_ts, 0xBEEF)))
+        ap = speculator.get_ap(tx.hash)
+
+        actual_header = BlockHeader(1, actual_ts, 0xBEEF)
+        evm_world = build_world(*actual_params)
+        evm_state = StateDB(evm_world)
+        expected = EVM(evm_state, actual_header, tx).execute_transaction()
+        evm_state.commit()
+
+        ap_world = build_world(*actual_params)
+        ap_state = StateDB(ap_world)
+        receipt = accelerator.execute(tx, actual_header, ap_state, ap)
+        ap_state.commit()
+
+        assert receipt.result.success == expected.success
+        assert receipt.result.gas_used == expected.gas_used
+        assert receipt.result.return_data == expected.return_data
+        assert receipt.result.logs == expected.logs
+        assert ap_world.root() == evm_world.root(), (
+            f"state divergence for tx to {tx.to:#x} "
+            f"(outcome={receipt.outcome})")
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=world_params, ts=timestamps)
+def test_multi_future_merged_ap_equivalence(params, ts):
+    """Same property with an AP merged from several speculated futures."""
+    accelerator = TransactionAccelerator()
+    tx = Transaction(sender=ALICE, to=FEED,
+                     data=PF.calldata("submit", ROUND, 1980), nonce=0)
+    spec_worlds = [
+        (ROUND, 2000, 4, 0, 0, 10**6, 10**6, 100, 0),
+        (3990000, 0, 1, 0, 0, 10**6, 10**6, 100, 0),
+        (ROUND, 2010, 6, 0, 0, 10**6, 10**6, 100, 0),
+    ]
+    speculator = None
+    ap = None
+    for i, sp in enumerate(spec_worlds):
+        world = build_world(*sp)
+        if speculator is None:
+            speculator = Speculator(world)
+        else:
+            speculator.world = world
+        speculator.speculate(
+            tx, FutureContext(i + 1,
+                              BlockHeader(1, ROUND + 100 + i, 0xBEEF)))
+    ap = speculator.get_ap(tx.hash)
+
+    header = BlockHeader(1, ts, 0xBEEF)
+    evm_world = build_world(*params)
+    evm_state = StateDB(evm_world)
+    expected = EVM(evm_state, header, tx).execute_transaction()
+    evm_state.commit()
+
+    ap_world = build_world(*params)
+    ap_state = StateDB(ap_world)
+    receipt = accelerator.execute(tx, header, ap_state, ap)
+    ap_state.commit()
+
+    assert receipt.result.success == expected.success
+    assert receipt.result.gas_used == expected.gas_used
+    assert ap_world.root() == evm_world.root()

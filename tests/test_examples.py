@@ -1,0 +1,51 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart.py").main()
+    out = capsys.readouterr().out
+    assert "Accelerated Program synthesized" in out
+    assert "state-root OK" in out
+    assert "MISMATCH" not in out
+
+
+def test_defi_swaps_runs(capsys):
+    load_example("defi_swaps.py").main()
+    out = capsys.readouterr().out
+    assert "outcome=satisfied" in out
+    assert out.count("amountOut") == 2
+
+
+def test_live_node_simulation_runs(capsys):
+    load_example("live_node_simulation.py").main(duration=40.0)
+    out = capsys.readouterr().out
+    assert "Merkle roots matched" in out
+    assert "Forerunner" in out
+    assert "Table 3" in out
+
+
+def test_reorg_handling_runs(capsys):
+    load_example("reorg_handling.py").main()
+    out = capsys.readouterr().out
+    assert "reorgs=1" in out
+    assert "state root equals straight-line execution: True" in out
+    assert "outcome=satisfied" in out

@@ -1,0 +1,116 @@
+"""Gas accounting details and assembler round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.evm import opcodes
+from repro.evm.assembler import assemble, disassemble
+from repro.evm.interpreter import EVM, MEMORY_WORD_GAS, SHA3_WORD_GAS
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+SENDER = 0xAB
+CODE = 0xCD
+
+
+def gas_of(source, gas_limit=500_000):
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE, code=assemble(source))
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=CODE, nonce=0,
+                     gas_limit=gas_limit)
+    result = EVM(state, BlockHeader(1, 1, 0xB), tx).execute_transaction()
+    assert result.success, result.error
+    return result.gas_used
+
+
+class TestGas:
+    def test_stop_costs_intrinsic_only(self):
+        assert gas_of("STOP") == 21_000
+
+    def test_arithmetic_costs_add_up(self):
+        base = gas_of("STOP")
+        # PUSH(3) + PUSH(3) + ADD(3) + POP(2)
+        assert gas_of("PUSH 1\nPUSH 2\nADD\nPOP") == base + 3 + 3 + 3 + 2
+
+    def test_memory_expansion_charged_per_word(self):
+        # MSTORE at 0 expands 1 word; at 32 expands one more.
+        one = gas_of("PUSH 1\nPUSH 0\nMSTORE")
+        two = gas_of("PUSH 1\nPUSH 0\nMSTORE\nPUSH 1\nPUSH 32\nMSTORE")
+        mstore_static = opcodes.OPCODES[0x52].gas + 2 * 3  # op + pushes
+        assert two - one == mstore_static + MEMORY_WORD_GAS
+
+    def test_memory_reuse_not_recharged(self):
+        once = gas_of("PUSH 1\nPUSH 0\nMSTORE")
+        twice = gas_of("PUSH 1\nPUSH 0\nMSTORE\nPUSH 2\nPUSH 0\nMSTORE")
+        mstore_static = opcodes.OPCODES[0x52].gas + 2 * 3
+        assert twice - once == mstore_static  # no expansion second time
+
+    def test_sha3_word_gas(self):
+        small = gas_of("PUSH 32\nPUSH 0\nSHA3\nPOP")
+        large = gas_of("PUSH 64\nPUSH 0\nSHA3\nPOP")
+        # One extra hashed word + one extra memory word expanded.
+        assert large - small == SHA3_WORD_GAS + MEMORY_WORD_GAS
+
+    def test_gas_opcode_reports_remaining(self):
+        world = WorldState()
+        world.create_account(SENDER, balance=10**21)
+        world.create_account(CODE, code=assemble(
+            "GAS\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN"))
+        state = StateDB(world)
+        tx = Transaction(sender=SENDER, to=CODE, nonce=0,
+                         gas_limit=100_000)
+        result = EVM(state, BlockHeader(1, 1, 0xB), tx) \
+            .execute_transaction()
+        remaining = int.from_bytes(result.return_data, "big")
+        assert 0 < remaining < 100_000 - 21_000
+
+
+_SIMPLE_OPS = ["ADD", "MUL", "SUB", "DIV", "AND", "OR", "XOR", "POP",
+               "DUP1", "DUP2", "SWAP1", "JUMPDEST", "CALLER",
+               "TIMESTAMP", "MLOAD", "MSTORE", "SLOAD", "ISZERO"]
+
+
+@st.composite
+def programs(draw):
+    lines = []
+    for _ in range(draw(st.integers(1, 30))):
+        if draw(st.booleans()):
+            lines.append(f"PUSH {draw(st.integers(0, 2**256 - 1))}")
+        else:
+            lines.append(draw(st.sampled_from(_SIMPLE_OPS)))
+    return "\n".join(lines)
+
+
+class TestAssemblerRoundTrip:
+    @settings(max_examples=80)
+    @given(programs())
+    def test_disassemble_reassemble_identity(self, source):
+        code = assemble(source)
+        listing = disassemble(code)
+        rebuilt_lines = []
+        for _, name, imm in listing:
+            if imm is not None:
+                width = int(name[4:])
+                rebuilt_lines.append(f"PUSH{width} {imm}")
+            else:
+                rebuilt_lines.append(name)
+        assert assemble("\n".join(rebuilt_lines)) == code
+
+    @settings(max_examples=40)
+    @given(programs())
+    def test_disassembly_covers_every_byte(self, source):
+        code = assemble(source)
+        listing = disassemble(code)
+        covered = 0
+        for pc, name, imm in listing:
+            assert pc == covered
+            if imm is not None:
+                covered += 1 + int(name[4:])
+            else:
+                covered += 1
+        assert covered == len(code)

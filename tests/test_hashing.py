@@ -1,0 +1,30 @@
+"""Tests for hashing helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.hashing import hash_words, keccak, keccak_int
+
+
+def test_keccak_deterministic():
+    assert keccak(b"abc") == keccak(b"abc")
+    assert keccak(b"abc") != keccak(b"abd")
+
+
+def test_keccak_length():
+    assert len(keccak(b"")) == 32
+
+
+@given(st.binary(max_size=256))
+def test_keccak_int_matches_bytes(data):
+    assert keccak_int(data) == int.from_bytes(keccak(data), "big")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**256 - 1),
+                max_size=8))
+def test_hash_words_deterministic(words):
+    assert hash_words(words) == hash_words(list(words))
+
+
+def test_hash_words_order_sensitive():
+    assert hash_words([1, 2]) != hash_words([2, 1])

@@ -1,0 +1,215 @@
+"""EVM arithmetic/comparison/bitwise semantics.
+
+Property-based: each opcode's result through the interpreter must match
+an independent Python reference implementation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import EVM
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+from repro.utils.words import to_signed, to_unsigned, u256
+
+words = st.integers(min_value=0, max_value=2**256 - 1)
+small = st.integers(min_value=0, max_value=300)
+
+SENDER = 0xAA
+CODE_ADDR = 0xCC
+
+
+def run_binary(op: str, a: int, b: int) -> int:
+    """Execute `a <op> b` where the op pops a from the top."""
+    code = assemble(f"""
+        PUSH {b}
+        PUSH {a}
+        {op}
+        PUSH 0
+        MSTORE
+        PUSH 32
+        PUSH 0
+        RETURN
+    """)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE_ADDR, code=code)
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=CODE_ADDR, nonce=0)
+    result = EVM(state, BlockHeader(1, 1, 0xBEEF), tx).execute_transaction()
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_add(a, b):
+    assert run_binary("ADD", a, b) == u256(a + b)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_mul(a, b):
+    assert run_binary("MUL", a, b) == u256(a * b)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_sub(a, b):
+    assert run_binary("SUB", a, b) == u256(a - b)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_div(a, b):
+    assert run_binary("DIV", a, b) == (a // b if b else 0)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_mod(a, b):
+    assert run_binary("MOD", a, b) == (a % b if b else 0)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_sdiv(a, b):
+    got = run_binary("SDIV", a, b)
+    if b == 0:
+        assert got == 0
+    else:
+        sa, sb = to_signed(a), to_signed(b)
+        expected = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            expected = -expected
+        assert got == to_unsigned(expected)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_smod(a, b):
+    got = run_binary("SMOD", a, b)
+    if b == 0:
+        assert got == 0
+    else:
+        sa, sb = to_signed(a), to_signed(b)
+        expected = abs(sa) % abs(sb)
+        if sa < 0:
+            expected = -expected
+        assert got == to_unsigned(expected)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_comparisons(a, b):
+    assert run_binary("LT", a, b) == (1 if a < b else 0)
+    assert run_binary("GT", a, b) == (1 if a > b else 0)
+    assert run_binary("EQ", a, b) == (1 if a == b else 0)
+
+
+@settings(max_examples=20)
+@given(words, words)
+def test_signed_comparisons(a, b):
+    assert run_binary("SLT", a, b) == (1 if to_signed(a) < to_signed(b) else 0)
+    assert run_binary("SGT", a, b) == (1 if to_signed(a) > to_signed(b) else 0)
+
+
+@settings(max_examples=30)
+@given(words, words)
+def test_bitwise(a, b):
+    assert run_binary("AND", a, b) == a & b
+    assert run_binary("OR", a, b) == a | b
+    assert run_binary("XOR", a, b) == a ^ b
+
+
+@settings(max_examples=20)
+@given(small, words)
+def test_shifts(shift, value):
+    assert run_binary("SHL", shift, value) == (
+        u256(value << shift) if shift < 256 else 0)
+    assert run_binary("SHR", shift, value) == (
+        value >> shift if shift < 256 else 0)
+
+
+@settings(max_examples=20)
+@given(small, words)
+def test_byte(pos, value):
+    expected = (value >> (8 * (31 - pos))) & 0xFF if pos < 32 else 0
+    assert run_binary("BYTE", pos, value) == expected
+
+
+@settings(max_examples=20)
+@given(words, words, st.integers(min_value=0, max_value=2**256 - 1))
+def test_addmod(a, b, m):
+    code_result = _run_ternary("ADDMOD", a, b, m)
+    assert code_result == ((a + b) % m if m else 0)
+
+
+@settings(max_examples=20)
+@given(words, words, st.integers(min_value=0, max_value=2**256 - 1))
+def test_mulmod(a, b, m):
+    code_result = _run_ternary("MULMOD", a, b, m)
+    assert code_result == ((a * b) % m if m else 0)
+
+
+def _run_ternary(op: str, a: int, b: int, c: int) -> int:
+    code = assemble(f"""
+        PUSH {c}
+        PUSH {b}
+        PUSH {a}
+        {op}
+        PUSH 0
+        MSTORE
+        PUSH 32
+        PUSH 0
+        RETURN
+    """)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE_ADDR, code=code)
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=CODE_ADDR, nonce=0)
+    result = EVM(state, BlockHeader(1, 1, 0xBEEF), tx).execute_transaction()
+    assert result.success
+    return int.from_bytes(result.return_data, "big")
+
+
+def test_iszero_and_not():
+    assert _run_unary("ISZERO", 0) == 1
+    assert _run_unary("ISZERO", 5) == 0
+    assert _run_unary("NOT", 0) == 2**256 - 1
+
+
+def _run_unary(op: str, a: int) -> int:
+    code = assemble(f"""
+        PUSH {a}
+        {op}
+        PUSH 0
+        MSTORE
+        PUSH 32
+        PUSH 0
+        RETURN
+    """)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE_ADDR, code=code)
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=CODE_ADDR, nonce=0)
+    result = EVM(state, BlockHeader(1, 1, 0xBEEF), tx).execute_transaction()
+    assert result.success
+    return int.from_bytes(result.return_data, "big")
+
+
+def test_signextend():
+    # Sign-extend the low byte 0xFF -> all ones.
+    assert run_binary("SIGNEXTEND", 0, 0xFF) == 2**256 - 1
+    assert run_binary("SIGNEXTEND", 0, 0x7F) == 0x7F
+    assert run_binary("SIGNEXTEND", 31, 5) == 5
+
+
+def test_exp():
+    assert run_binary("EXP", 2, 10) == 1024
+    assert run_binary("EXP", 3, 0) == 1

@@ -1,0 +1,57 @@
+"""EVM memory model tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evm.memory import Memory
+
+words = st.integers(min_value=0, max_value=2**256 - 1)
+offsets = st.integers(min_value=0, max_value=4096)
+
+
+def test_zero_initialized():
+    assert Memory().load_word(64) == 0
+
+
+@given(offsets, words)
+def test_store_load_roundtrip(offset, value):
+    memory = Memory()
+    memory.store_word(offset, value)
+    assert memory.load_word(offset) == value
+
+
+def test_store_byte():
+    memory = Memory()
+    memory.store_byte(3, 0x1FF)  # truncated to low byte
+    assert memory.data[3] == 0xFF
+
+
+def test_overlapping_writes_latest_wins():
+    memory = Memory()
+    memory.store_word(0, 2**256 - 1)
+    memory.store_word(16, 0)
+    # First 16 bytes keep 0xff, next 32 are zero.
+    assert memory.read(0, 16) == b"\xff" * 16
+    assert memory.read(16, 32) == b"\x00" * 32
+
+
+def test_expansion_words():
+    memory = Memory()
+    assert memory.expansion_words(0, 32) == 1
+    memory.store_word(0, 1)
+    assert memory.expansion_words(0, 32) == 0
+    assert memory.expansion_words(32, 1) == 1
+    assert memory.expansion_words(0, 0) == 0
+
+
+def test_read_expands():
+    memory = Memory()
+    data = memory.read(100, 10)
+    assert data == b"\x00" * 10
+    assert len(memory) >= 110
+
+
+def test_write_raw():
+    memory = Memory()
+    memory.write(5, b"hello")
+    assert memory.read(5, 5) == b"hello"

@@ -1,0 +1,276 @@
+"""minisol language extensions: for loops, compound assignment,
+private-function inlining — including through the AP pipeline."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core.accelerator import TransactionAccelerator
+from repro.core.speculator import FutureContext, Speculator
+from repro.errors import CompileError
+from repro.evm.interpreter import EVM
+from repro.minisol import compile_contract, decode_uint
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+SENDER = 0x99
+CONTRACT = 0xC9
+
+
+def run(source, fn, *args, timestamp=1000, storage=None):
+    compiled = compile_contract(source)
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CONTRACT, code=compiled.code)
+    if storage:
+        account = world.get_account(CONTRACT)
+        for slot, value in storage.items():
+            account.set_storage(slot, value)
+    state = StateDB(world)
+    tx = Transaction(sender=SENDER, to=CONTRACT,
+                     data=compiled.calldata(fn, *args), nonce=0,
+                     gas_limit=3_000_000)
+    header = BlockHeader(1, timestamp, 0xB)
+    result = EVM(state, header, tx).execute_transaction()
+    return compiled, result, state
+
+
+class TestForLoops:
+    def test_basic_for(self):
+        source = """
+        contract F {
+            function sum(uint256 n) public returns (uint256) {
+                uint256 acc = 0;
+                for (uint256 i = 1; i <= n; i += 1) { acc += i; }
+                return acc;
+            }
+        }
+        """
+        _, result, _ = run(source, "sum", 10)
+        assert decode_uint(result.return_data) == 55
+
+    def test_for_without_init_and_post(self):
+        source = """
+        contract F {
+            function countdown(uint256 n) public returns (uint256) {
+                uint256 steps = 0;
+                for (; n > 0;) { n -= 1; steps += 1; }
+                return steps;
+            }
+        }
+        """
+        _, result, _ = run(source, "countdown", 7)
+        assert decode_uint(result.return_data) == 7
+
+    def test_nested_for(self):
+        source = """
+        contract F {
+            function grid(uint256 n) public returns (uint256) {
+                uint256 cells = 0;
+                for (uint256 i = 0; i < n; i += 1) {
+                    for (uint256 j = 0; j < n; j += 1) { cells += 1; }
+                }
+                return cells;
+            }
+        }
+        """
+        _, result, _ = run(source, "grid", 5)
+        assert decode_uint(result.return_data) == 25
+
+    def test_zero_iterations(self):
+        source = """
+        contract F {
+            function sum(uint256 n) public returns (uint256) {
+                uint256 acc = 99;
+                for (uint256 i = 0; i < n; i += 1) { acc = 0; }
+                return acc;
+            }
+        }
+        """
+        _, result, _ = run(source, "sum", 0)
+        assert decode_uint(result.return_data) == 99
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize("op,expected", [
+        ("+=", 13), ("-=", 7), ("*=", 30), ("/=", 3), ("%=", 1),
+    ])
+    def test_ops(self, op, expected):
+        source = f"""
+        contract C {{
+            function f(uint256 a, uint256 b) public returns (uint256) {{
+                uint256 x = a;
+                x {op} b;
+                return x;
+            }}
+        }}
+        """
+        _, result, _ = run(source, "f", 10, 3)
+        assert decode_uint(result.return_data) == expected
+
+    def test_compound_on_mapping(self):
+        source = """
+        contract C {
+            mapping(uint256 => uint256) public table;
+            function bump(uint256 k, uint256 by) public {
+                table[k] += by;
+            }
+        }
+        """
+        compiled, result, state = run(source, "bump", 5, 40)
+        assert result.success
+        assert state.get_storage(
+            CONTRACT, compiled.slot_of("table", 5)) == 40
+
+    def test_compound_on_state_var(self):
+        source = """
+        contract C {
+            uint256 public total;
+            function add(uint256 by) public { total += by; }
+        }
+        """
+        compiled, result, state = run(source, "add", 9)
+        assert state.get_storage(CONTRACT, compiled.slot_of("total")) == 9
+
+
+class TestInlining:
+    LIB = """
+    contract Lib {
+        uint256 public log2floor;
+
+        function half(uint256 x) private returns (uint256) {
+            return x / 2;
+        }
+
+        function ilog2(uint256 x) private returns (uint256) {
+            uint256 bits = 0;
+            while (x > 1) { x = half(x); bits += 1; }
+            return bits;
+        }
+
+        function store(uint256 x) public returns (uint256) {
+            uint256 b = ilog2(x);
+            log2floor = b;
+            return b;
+        }
+    }
+    """
+
+    def test_nested_inlining(self):
+        compiled, result, state = run(self.LIB, "store", 1000)
+        assert result.success
+        assert decode_uint(result.return_data) == 9  # floor(log2(1000))
+        assert state.get_storage(
+            CONTRACT, compiled.slot_of("log2floor")) == 9
+
+    def test_private_not_in_abi(self):
+        compiled = compile_contract(self.LIB)
+        assert "half" not in compiled.functions
+        assert "ilog2" not in compiled.functions
+        assert "store" in compiled.functions
+
+    def test_early_return_in_branch(self):
+        source = """
+        contract C {
+            function sign(uint256 x) private returns (uint256) {
+                if (x == 0) { return 0; }
+                return 1;
+            }
+            function f(uint256 x) public returns (uint256) {
+                return sign(x) * 100 + sign(0);
+            }
+        }
+        """
+        _, result, _ = run(source, "f", 5)
+        assert decode_uint(result.return_data) == 100
+
+    def test_void_internal_call(self):
+        source = """
+        contract C {
+            uint256 public counter;
+            function bump() private { counter += 1; }
+            function thrice() public {
+                bump(); bump(); bump();
+            }
+        }
+        """
+        compiled, result, state = run(source, "thrice")
+        assert result.success
+        assert state.get_storage(
+            CONTRACT, compiled.slot_of("counter")) == 3
+
+    def test_recursion_rejected(self):
+        source = """
+        contract C {
+            function loop(uint256 x) private returns (uint256) {
+                return loop(x);
+            }
+            function f() public returns (uint256) { return loop(1); }
+        }
+        """
+        with pytest.raises(CompileError):
+            compile_contract(source)
+
+    def test_unknown_function_rejected(self):
+        source = """
+        contract C {
+            function f() public returns (uint256) { return nope(1); }
+        }
+        """
+        with pytest.raises(CompileError):
+            compile_contract(source)
+
+    def test_arity_checked(self):
+        source = """
+        contract C {
+            function g(uint256 a, uint256 b) private returns (uint256) {
+                return a + b;
+            }
+            function f() public returns (uint256) { return g(1); }
+        }
+        """
+        with pytest.raises(CompileError):
+            compile_contract(source)
+
+
+class TestInliningThroughAP:
+    def test_inlined_function_ap_equivalence(self):
+        source = """
+        contract C {
+            uint256 public out;
+            function weight(uint256 x) private returns (uint256) {
+                if (x > 100) { return x * 2; }
+                return x * 3;
+            }
+            function f(uint256 x) public {
+                out = weight(x) + weight(x + 200);
+            }
+        }
+        """
+        compiled = compile_contract(source)
+
+        def make_world():
+            world = WorldState()
+            world.create_account(SENDER, balance=10**21)
+            world.create_account(CONTRACT, code=compiled.code)
+            return world
+
+        tx = Transaction(sender=SENDER, to=CONTRACT,
+                         data=compiled.calldata("f", 50), nonce=0)
+        header = BlockHeader(1, 1000, 0xB)
+        speculator = Speculator(make_world())
+        speculator.speculate(tx, FutureContext(1, header))
+        ap = speculator.get_ap(tx.hash)
+
+        evm_world = make_world()
+        s1 = StateDB(evm_world)
+        EVM(s1, header, tx).execute_transaction()
+        s1.commit()
+        ap_world = make_world()
+        s2 = StateDB(ap_world)
+        receipt = TransactionAccelerator().execute(tx, header, s2, ap)
+        s2.commit()
+        assert receipt.outcome == "satisfied"
+        assert ap_world.root() == evm_world.root()
+        assert ap_world.get_account(CONTRACT).get_storage(
+            compiled.slot_of("out")) == 50 * 3 + 250 * 2

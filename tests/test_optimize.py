@@ -1,0 +1,215 @@
+"""Optimization pass tests."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import erc20, pricefeed
+from repro.core.optimize import (
+    eliminate_dead_code,
+    evaluate_compute,
+    evaluate_mconcat,
+    fold_and_cse,
+    optimize_path,
+    partition_constraint_fastpath,
+    promote_context_accesses,
+)
+from repro.core.sevm import GuardMode, Reg, SInstr, SKind
+from repro.core.trace import trace_transaction
+from repro.core.translate import SynthStats, translate_trace
+from repro.state.statedb import StateDB
+from repro.utils.hashing import keccak_int
+from repro.utils.words import int_to_bytes32
+
+from tests.conftest import ALICE, BOB, FEED, ROUND, TOKEN
+
+
+def compute(op, dest, *args, **meta):
+    return SInstr(kind=SKind.COMPUTE, op=op, dest=Reg(dest), args=args,
+                  meta=dict(meta))
+
+
+def test_constant_folding_chains():
+    stats = SynthStats()
+    instrs = [
+        compute("ADD", 0, 1, 2),        # v0 = 3
+        compute("MUL", 1, Reg(0), 10),  # v1 = 30
+        compute("ADD", 2, Reg(1), Reg(0)),  # v2 = 33
+    ]
+    out = fold_and_cse(instrs, stats)
+    assert out == []
+    assert stats.eliminated_constant == 3
+
+
+def test_cse_removes_duplicates():
+    stats = SynthStats()
+    r_in = SInstr(kind=SKind.READ, op="TIMESTAMP", dest=Reg(0),
+                  key=("timestamp",))
+    instrs = [
+        r_in,
+        compute("ADD", 1, Reg(0), 5),
+        compute("ADD", 2, Reg(0), 5),   # duplicate
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(1, Reg(2)), key=(9,)),
+    ]
+    out = fold_and_cse(instrs, stats)
+    assert stats.eliminated_duplicate == 1
+    # The write now references the surviving register.
+    assert out[-1].args == (1, Reg(1))
+
+
+def test_static_guard_dropped():
+    stats = SynthStats()
+    stats.inserted_guards = 1
+    guard = SInstr(kind=SKind.GUARD, op="GUARD", args=(7,),
+                   guard_mode=GuardMode.EQ, expected=7, is_control=True)
+    out = fold_and_cse([guard], stats)
+    assert out == []
+    assert stats.inserted_guards == 0
+
+
+def test_sha3_folding_matches_reference():
+    stats = SynthStats()
+    instr = compute("SHA3", 0, 1, 2, size=64)
+    out = fold_and_cse([instr,
+                        SInstr(kind=SKind.WRITE, op="SSTORE",
+                               args=(Reg(0), 1), key=(1,))], stats)
+    expected = keccak_int(int_to_bytes32(1) + int_to_bytes32(2))
+    assert out[0].args == (expected, 1)
+
+
+def test_evaluate_mconcat_layout():
+    # Word = [4 const bytes][28 bytes from reg's tail]
+    layout = [("bytes", 0, b"\xaa\xbb\xcc\xdd"),
+              ("reg", 4, 0, 4, 28)]
+    value = evaluate_mconcat(layout, (int(("1" * 64), 16),), 32)
+    raw = int_to_bytes32(value)
+    assert raw[:4] == b"\xaa\xbb\xcc\xdd"
+    assert raw[4:] == int_to_bytes32(int("1" * 64, 16))[4:32]
+
+
+def test_promotion_dedups_header_reads():
+    stats = SynthStats()
+    instrs = [
+        SInstr(kind=SKind.READ, op="TIMESTAMP", dest=Reg(0),
+               key=("timestamp",)),
+        SInstr(kind=SKind.READ, op="TIMESTAMP", dest=Reg(1),
+               key=("timestamp",)),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(1, Reg(1)), key=(9,)),
+    ]
+    out = promote_context_accesses(instrs, {Reg(0): 5, Reg(1): 5}, stats)
+    assert stats.eliminated_promoted_reads == 1
+    assert out[-1].args == (1, Reg(0))
+
+
+def test_promotion_forwards_store_to_load():
+    stats = SynthStats()
+    instrs = [
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(3, 42), key=(9,)),
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(0), args=(3,),
+               key=(9,)),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(4, Reg(0)), key=(9,)),
+    ]
+    out = promote_context_accesses(instrs, {Reg(0): 42}, stats)
+    assert stats.eliminated_promoted_reads == 1
+    assert out[-1].args == (4, 42)
+
+
+def test_promotion_variable_slots_get_neq_guard():
+    """Reusing a binding across an intervening variable-slot write must
+    pin non-aliasing with a NEQ data guard."""
+    stats = SynthStats()
+    concrete = {Reg(0): 111, Reg(1): 222, Reg(2): 7}
+    instrs = [
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(2), args=(Reg(0),),
+               key=(9,)),
+        # Intervening write to a DIFFERENT variable slot.
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(Reg(1), 5), key=(9,)),
+        # Re-read the first slot: reusable only if slots stay distinct.
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(3), args=(Reg(0),),
+               key=(9,)),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(1, Reg(3)), key=(9,)),
+    ]
+    out = promote_context_accesses(instrs, concrete, stats)
+    neq = [i for i in out if i.kind is SKind.GUARD
+           and i.guard_mode is GuardMode.NEQ]
+    assert len(neq) == 1
+    assert stats.eliminated_promoted_reads == 1
+
+
+def test_promotion_aliased_slot_not_reused():
+    """If the intervening write concretely aliased the slot during
+    speculation, the old binding is stale and must NOT be reused."""
+    stats = SynthStats()
+    concrete = {Reg(0): 111, Reg(1): 111, Reg(2): 7, Reg(3): 5}
+    instrs = [
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(2), args=(Reg(0),),
+               key=(9,)),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(Reg(1), 5), key=(9,)),
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(3), args=(Reg(0),),
+               key=(9,)),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(1, Reg(3)), key=(9,)),
+    ]
+    out = promote_context_accesses(instrs, concrete, stats)
+    # The second SLOAD cannot be promoted away...
+    assert stats.eliminated_promoted_reads == 0
+    # ...but the forwarding from the aliasing SSTORE is legitimate —
+    # either way the final write's value must reflect the stored 5.
+    reads = [i for i in out if i.kind is SKind.READ]
+    assert len(reads) >= 1
+
+
+def test_dce_keeps_guard_feeders():
+    instrs = [
+        SInstr(kind=SKind.READ, op="TIMESTAMP", dest=Reg(0),
+               key=("timestamp",)),
+        compute("ADD", 1, Reg(0), 5),
+        compute("MUL", 2, Reg(0), 3),  # dead: feeds nothing
+        SInstr(kind=SKind.GUARD, op="GUARD", args=(Reg(1),),
+               guard_mode=GuardMode.EQ, expected=10, is_control=True),
+    ]
+    stats = SynthStats()
+    out = eliminate_dead_code(instrs, set(), stats)
+    assert stats.eliminated_dead == 1
+    assert all(i.dest != Reg(2) for i in out)
+
+
+def test_dce_respects_return_roots():
+    instrs = [compute("ADD", 0, 1, 2)]
+    out = eliminate_dead_code(list(instrs), {Reg(0)}, SynthStats())
+    assert len(out) == 1
+    out = eliminate_dead_code(list(instrs), set(), SynthStats())
+    assert out == []
+
+
+def test_partition_constraints_vs_fastpath():
+    instrs = [
+        SInstr(kind=SKind.READ, op="TIMESTAMP", dest=Reg(0),
+               key=("timestamp",)),
+        compute("ADD", 1, Reg(0), 5),
+        SInstr(kind=SKind.GUARD, op="GUARD", args=(Reg(1),),
+               guard_mode=GuardMode.EQ, expected=10, is_control=True),
+        SInstr(kind=SKind.READ, op="SLOAD", dest=Reg(2), args=(3,),
+               key=(9,)),
+        compute("MUL", 3, Reg(2), 2),
+        SInstr(kind=SKind.WRITE, op="SSTORE", args=(3, Reg(3)), key=(9,)),
+    ]
+    constraint, fastpath = partition_constraint_fastpath(instrs)
+    assert [i.op for i in constraint] == ["TIMESTAMP", "ADD", "GUARD"]
+    assert [i.op for i in fastpath] == ["SLOAD", "MUL", "SSTORE"]
+
+
+def test_full_pipeline_on_pricefeed(oracle_world):
+    pf = pricefeed()
+    state = StateDB(oracle_world)
+    tx = Transaction(sender=ALICE, to=FEED,
+                     data=pf.calldata("submit", ROUND, 1980), nonce=0)
+    header = BlockHeader(number=1, timestamp=3990462, coinbase=0xBEEF)
+    trace = trace_transaction(state, header, tx)
+    result = translate_trace(trace)
+    optimize_path(result)
+    # Figure 15 shape: the optimized path is a small fraction of the
+    # original EVM trace.
+    assert result.stats.final_len < 0.3 * result.stats.trace_len
+    assert result.pre_dce_instrs is not None
+    assert result.stats.constraint_section_len > 0
+    assert result.stats.fast_path_len > 0

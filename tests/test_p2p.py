@@ -1,0 +1,54 @@
+"""Gossip / latency model tests."""
+
+import random
+
+from repro.chain.transaction import Transaction
+from repro.p2p.gossip import GossipNetwork
+from repro.p2p.latency import LatencyModel
+
+
+def test_latency_positive_and_varied():
+    model = LatencyModel()
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(500)]
+    assert all(s > 0 for s in samples)
+    assert len(set(round(s, 6) for s in samples)) > 100
+
+
+def test_latency_heavy_tail_present():
+    model = LatencyModel(tail_probability=0.2)
+    rng = random.Random(2)
+    samples = [model.sample(rng) for _ in range(2000)]
+    assert max(samples) > 20.0
+    median = sorted(samples)[len(samples) // 2]
+    assert median < 4.0
+
+
+def test_gossip_assigns_all_participants():
+    network = GossipNetwork(miner_ids=[1, 2, 3], seed=5)
+    network.add_observer("live")
+    network.add_observer("replay", LatencyModel(median=3.0))
+    tx = Transaction(sender=1, to=2, nonce=0)
+    d = network.disseminate(tx, born=100.0)
+    assert set(d.miner_arrivals) == {1, 2, 3}
+    assert set(d.observer_arrivals) == {"live", "replay"}
+    assert all(a >= 100.0 for a in d.miner_arrivals.values())
+
+
+def test_private_tx_reaches_only_origin_miner():
+    network = GossipNetwork(miner_ids=[1, 2], seed=5)
+    network.add_observer("live")
+    tx = Transaction(sender=1, to=2, nonce=0, origin_miner=2)
+    d = network.disseminate(tx, born=10.0)
+    assert d.miner_arrivals[2] == 10.0
+    assert d.miner_arrivals[1] == float("inf")
+    assert d.observer_arrivals["live"] == float("inf")
+
+
+def test_observers_see_different_delays():
+    network = GossipNetwork(miner_ids=[1], seed=5)
+    network.add_observer("a")
+    network.add_observer("b")
+    tx = Transaction(sender=1, to=2, nonce=0)
+    d = network.disseminate(tx, born=0.0)
+    assert d.observer_arrivals["a"] != d.observer_arrivals["b"]

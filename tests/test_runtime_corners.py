@@ -1,0 +1,144 @@
+"""Runtime corners: NEQ data guards catching aliasing, LOG replay
+through APs, and emulator bookkeeping."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core.accelerator import TransactionAccelerator
+from repro.core.ap import AcceleratedProgram
+from repro.core.memoize import build_shortcuts
+from repro.core.merge import merge_path, prune_tree
+from repro.core.sevm import GuardMode, SKind
+from repro.core.speculator import synthesize_path
+from repro.core.trace import trace_transaction
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import EVM
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+SENDER = 0xAA
+CODE = 0xCC
+
+# Reads slot[timestamp], writes slot[2*timestamp], re-reads
+# slot[timestamp]: promotion reuses the first read ONLY under a NEQ
+# data guard between the two computed slots.
+ALIASING = """
+    TIMESTAMP
+    SLOAD             ; v = storage[ts]
+    PUSH 77
+    TIMESTAMP
+    PUSH 2
+    MUL
+    SSTORE            ; storage[2*ts] = 77
+    TIMESTAMP
+    SLOAD             ; re-read storage[ts]
+    ADD
+    PUSH 0
+    MSTORE
+    PUSH 32
+    PUSH 0
+    RETURN
+"""
+
+
+def make_world(seed_slots=()):
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE, code=assemble(ALIASING))
+    account = world.get_account(CODE)
+    for slot, value in seed_slots:
+        account.set_storage(slot, value)
+    return world
+
+
+def build_ap(tx, speculation_ts):
+    world = make_world(seed_slots=[(speculation_ts, 5)])
+    trace = trace_transaction(
+        StateDB(world), BlockHeader(1, speculation_ts, 0xB), tx)
+    path = synthesize_path(trace)
+    ap = AcceleratedProgram(tx.hash)
+    merge_path(ap, path)
+    prune_tree(ap)
+    build_shortcuts(ap)
+    return ap, path
+
+
+def test_neq_guard_emitted_for_promotion():
+    tx = Transaction(sender=SENDER, to=CODE, nonce=0)
+    _, path = build_ap(tx, speculation_ts=100)
+    neq = [i for i in path.instrs if i.kind is SKind.GUARD
+           and i.guard_mode is GuardMode.NEQ]
+    assert neq, "promotion across variable slots must emit a NEQ guard"
+
+
+@pytest.mark.parametrize("actual_ts", [100, 300])
+def test_non_aliasing_context_accelerates(actual_ts):
+    """ts != 0: slots ts and 2*ts stay distinct -> NEQ holds."""
+    tx = Transaction(sender=SENDER, to=CODE, nonce=0)
+    ap, _ = build_ap(tx, speculation_ts=100)
+    world = make_world(seed_slots=[(actual_ts, 9)])
+    evm_world = world.copy()
+    header = BlockHeader(1, actual_ts, 0xB)
+    expected = EVM(StateDB(evm_world), header, tx).execute_transaction()
+    receipt = TransactionAccelerator().execute(
+        tx, header, StateDB(world), ap)
+    assert receipt.outcome == "satisfied"
+    assert receipt.result.return_data == expected.return_data
+
+
+def test_aliasing_context_violates():
+    """ts == 0: both computed slots collapse to slot 0 — the promotion's
+    non-aliasing assumption breaks, the NEQ guard fires, and the
+    fallback still produces the exact EVM result."""
+    tx = Transaction(sender=SENDER, to=CODE, nonce=0)
+    ap, _ = build_ap(tx, speculation_ts=100)
+    world = make_world(seed_slots=[(0, 9)])
+    evm_world = world.copy()
+    header = BlockHeader(1, 0, 0xB)
+    state = StateDB(evm_world)
+    expected = EVM(state, header, tx).execute_transaction()
+    state.commit()
+    state2 = StateDB(world)
+    receipt = TransactionAccelerator().execute(tx, header, state2, ap)
+    state2.commit()
+    assert receipt.outcome == "violated"
+    assert receipt.result.return_data == expected.return_data
+    assert world.root() == evm_world.root()
+
+
+def test_ap_log_replay_bit_exact():
+    """LOG topics and straddled data replay exactly through the AP."""
+    source = """
+        TIMESTAMP
+        PUSH 0
+        MSTORE
+        CALLER
+        PUSH 32
+        MSTORE
+        PUSH 999          ; topic1
+        PUSH 48           ; size: straddles both words
+        PUSH 16           ; offset
+        LOG1
+        STOP
+    """
+    world = WorldState()
+    world.create_account(SENDER, balance=10**21)
+    world.create_account(CODE, code=assemble(source))
+    tx = Transaction(sender=SENDER, to=CODE, nonce=0)
+    trace = trace_transaction(
+        StateDB(world.copy()), BlockHeader(1, 1234, 0xB), tx)
+    path = synthesize_path(trace)
+    ap = AcceleratedProgram(tx.hash)
+    merge_path(ap, path)
+    prune_tree(ap)
+    for ts in (1234, 99999):
+        header = BlockHeader(1, ts, 0xB)
+        evm_world = world.copy()
+        expected = EVM(StateDB(evm_world), header, tx) \
+            .execute_transaction()
+        ap_world = world.copy()
+        receipt = TransactionAccelerator().execute(
+            tx, header, StateDB(ap_world), ap)
+        assert receipt.result.logs == expected.logs, ts
+        assert len(expected.logs) == 1

@@ -1,0 +1,127 @@
+"""Recorder / emulator integration tests (paper §5.1, §5.4)."""
+
+import pytest
+
+from repro.core import stats as S
+from repro.p2p.latency import LatencyModel
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.workloads.mixed import TrafficConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = DatasetConfig(
+        name="T1",
+        traffic=TrafficConfig(duration=90.0, seed=21),
+        observers={"live": LatencyModel(),
+                   "replay": LatencyModel(median=2.2)},
+        seed=21,
+    )
+    return record_dataset(config)
+
+
+@pytest.fixture(scope="module")
+def run(dataset):
+    return replay(dataset, "live")
+
+
+class TestRecorder:
+    def test_blocks_pack_all_heard_traffic(self, dataset):
+        assert dataset.tx_count > 50
+        assert len(dataset.blocks) > 2
+
+    def test_block_numbers_sequential(self, dataset):
+        numbers = [b.number for _, b in dataset.blocks]
+        assert numbers == list(range(1, len(numbers) + 1))
+
+    def test_state_roots_stamped(self, dataset):
+        assert all(b.state_root is not None for _, b in dataset.blocks)
+
+    def test_no_duplicate_packing(self, dataset):
+        seen = set()
+        for _, block in dataset.blocks:
+            for tx in block.transactions:
+                assert tx.hash not in seen
+                seen.add(tx.hash)
+
+    def test_nonce_order_within_chain(self, dataset):
+        next_nonce = {}
+        for _, block in dataset.blocks:
+            for tx in block.transactions:
+                expected = next_nonce.get(tx.sender, 0)
+                assert tx.nonce == expected
+                next_nonce[tx.sender] = expected + 1
+
+    def test_observers_have_distinct_streams(self, dataset):
+        live = dict((tx.hash, t) for t, tx in dataset.tx_arrivals["live"])
+        rep = dict((tx.hash, t) for t, tx in dataset.tx_arrivals["replay"])
+        common = set(live) & set(rep)
+        assert common
+        assert any(abs(live[h] - rep[h]) > 0.01 for h in common)
+
+    def test_timestamps_monotone(self, dataset):
+        ts = [b.header.timestamp for _, b in dataset.blocks]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+
+class TestEmulator:
+    def test_all_roots_match(self, run):
+        """§5.2 correctness validation: every block's post-state root
+        from the Forerunner node equals the baseline's."""
+        assert run.roots_matched == run.blocks_executed > 0
+
+    def test_heard_fraction_realistic(self, run):
+        assert 0.85 <= run.heard_fraction() <= 1.0
+
+    def test_majority_satisfied(self, run):
+        summary = S.summarize(run.records)
+        assert summary.satisfied_fraction > 0.75
+
+    def test_effective_speedup_above_comparators(self, run):
+        rows = S.table2(run.records)
+        by_name = {row.name: row for row in rows}
+        forerunner = by_name["Forerunner"]
+        single = by_name["Perfect matching"]
+        multi = by_name["Perfect matching + multi-future prediction"]
+        assert forerunner.speedup > multi.speedup >= single.speedup > 1.0
+        assert forerunner.satisfied_fraction > multi.satisfied_fraction
+
+    def test_outcome_breakdown_ordering(self, run):
+        rows = {r.name: r for r in S.table3(run.records)}
+        assert rows["satisfied/perfect"].speedup > 1.0
+        assert rows["satisfied/imperfect"].speedup > 1.0
+        assert rows["unsatisfied/missed"].speedup >= 0.9
+
+    def test_unheard_txs_slower(self, run):
+        summary = S.summarize(run.records)
+        if any(not r.heard for r in run.records):
+            assert summary.unheard_speedup < 1.0
+
+    def test_replay_observer_changes_heard_rate(self, dataset, run):
+        other = replay(dataset, "replay")
+        assert other.roots_matched == other.blocks_executed
+        assert other.heard_fraction() != run.heard_fraction()
+
+    def test_unknown_observer_rejected(self, dataset):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            replay(dataset, "nope")
+
+    def test_speculation_happened(self, run):
+        assert run.speculation_jobs > 0
+        assert run.total_speculation_cost > 0
+
+    def test_synthesis_report_populated(self, run):
+        report = S.synthesis_report(
+            run.forerunner_node.speculator.archive, run.records)
+        assert report.paths > 0
+        assert 0 < report.final_pct < 50.0
+        assert report.eliminated_stack_pct > 30.0
+        assert report.skip_rate > 0.2
+
+    def test_heard_delay_cdf_monotone(self, run):
+        cdf = S.heard_delay_reverse_cdf(run.records)
+        fractions = [f for _, f in cdf]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+        assert fractions[0] > 0.5

@@ -1,0 +1,130 @@
+"""Speculator and prefetcher unit tests."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import pricefeed
+from repro.core.prefetcher import Prefetcher
+from repro.core.speculator import FutureContext, Speculator
+from repro.state.nodecache import NodeCache
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+from tests.conftest import ALICE, BOB, FEED, ROUND
+
+PF = pricefeed()
+
+
+def fresh_world():
+    world = WorldState()
+    world.create_account(ALICE, balance=10**24)
+    world.create_account(BOB, balance=10**24)
+    world.create_account(FEED, code=PF.code)
+    account = world.get_account(FEED)
+    account.set_storage(PF.slot_of("activeRoundID"), ROUND)
+    account.set_storage(PF.slot_of("prices", ROUND), 2000)
+    account.set_storage(PF.slot_of("submissionCounts", ROUND), 4)
+    return world
+
+
+def tx_e(sender=ALICE, nonce=0, price=1980):
+    return Transaction(sender=sender, to=FEED,
+                       data=PF.calldata("submit", ROUND, price),
+                       nonce=nonce)
+
+
+def header(ts=3990462):
+    return BlockHeader(number=1, timestamp=ts, coinbase=0xBEEF)
+
+
+class TestSpeculator:
+    def test_speculate_creates_ap(self):
+        speculator = Speculator(fresh_world())
+        path = speculator.speculate(tx_e(), FutureContext(1, header()))
+        assert path is not None
+        ap = speculator.get_ap(tx_e().hash)
+        assert ap is not None and ap.root is not None
+
+    def test_world_not_mutated_by_speculation(self):
+        world = fresh_world()
+        root_before = world.root()
+        speculator = Speculator(world)
+        speculator.speculate(tx_e(), FutureContext(1, header()))
+        assert world.root() == root_before
+
+    def test_predecessors_applied_to_context(self):
+        """Speculating after a predecessor submission sees its effect
+        (the FC2 mechanism of Figure 5)."""
+        world = fresh_world()
+        speculator = Speculator(world)
+        predecessor = tx_e(sender=BOB, price=2060)
+        context = FutureContext(2, header(), predecessors=(predecessor,))
+        path = speculator.speculate(tx_e(), context)
+        assert path is not None
+        # The read set saw count=5 (after Bob's submission), not 4.
+        key = ("storage", (FEED, PF.slot_of("submissionCounts", ROUND)))
+        assert path.read_set[key] == 5
+
+    def test_envelope_failure_skipped(self):
+        world = fresh_world()
+        speculator = Speculator(world)
+        bad = tx_e(nonce=99)
+        assert speculator.speculate(bad, FutureContext(1, header())) is None
+        assert speculator.get_ap(bad.hash) is None
+        assert any("envelope" in (r.error or "")
+                   for r in speculator.records)
+
+    def test_speculation_cost_accumulates(self):
+        speculator = Speculator(fresh_world())
+        speculator.speculate(tx_e(), FutureContext(1, header()))
+        cost1 = speculator.total_speculation_cost
+        assert cost1 > 0
+        speculator.speculate(tx_e(), FutureContext(2, header(3990470)))
+        assert speculator.total_speculation_cost > cost1
+
+    def test_drop_archives_stats(self):
+        speculator = Speculator(fresh_world())
+        speculator.speculate(tx_e(), FutureContext(1, header()))
+        speculator.drop(tx_e().hash)
+        assert speculator.get_ap(tx_e().hash) is None
+        assert len(speculator.archive) == 1
+        assert speculator.archive[0].paths
+
+    def test_speculate_many(self):
+        speculator = Speculator(fresh_world())
+        contexts = [FutureContext(i, header(3990462 + i))
+                    for i in range(1, 4)]
+        merged = speculator.speculate_many(tx_e(), contexts)
+        assert merged == 3
+        assert len(speculator.get_ap(tx_e().hash).paths) == 3
+
+
+class TestPrefetcher:
+    def test_prefetch_warms_node_cache(self):
+        world = fresh_world()
+        cache = NodeCache()
+        prefetcher = Prefetcher(world, cache)
+        slot = PF.slot_of("prices", ROUND)
+        warmed = prefetcher.prefetch(
+            [("storage", (FEED, slot)), ("balance", (ALICE,))],
+            tx_sender=ALICE, tx_to=FEED)
+        assert warmed >= 2
+        state = StateDB(world, node_cache=cache)
+        state.get_storage(FEED, slot)
+        assert state.disk.stats.cold_slot_loads == 0
+
+    def test_prefetch_cost_accounted_offpath(self):
+        world = fresh_world()
+        prefetcher = Prefetcher(world, NodeCache())
+        prefetcher.prefetch([("storage", (FEED, 0))])
+        assert prefetcher.offpath_cost > 0
+
+    def test_prefetch_idempotent(self):
+        world = fresh_world()
+        prefetcher = Prefetcher(world, NodeCache())
+        keys = [("storage", (FEED, 0))]
+        first = prefetcher.prefetch(keys)
+        second = prefetcher.prefetch(keys)
+        assert first >= 1
+        assert second == 0

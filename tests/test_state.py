@@ -1,0 +1,239 @@
+"""WorldState / StateDB / journal / trie tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientBalance
+from repro.state.account import Account
+from repro.state.statedb import StateDB
+from repro.state.trie import state_root, storage_root, trie_depth
+from repro.state.world import WorldState
+
+
+def test_account_storage_zero_deletes():
+    account = Account()
+    account.set_storage(1, 5)
+    account.set_storage(1, 0)
+    assert 1 not in account.storage
+    assert account.get_storage(1) == 0
+
+
+def test_account_copy_independent():
+    account = Account(balance=5, storage={1: 2})
+    clone = account.copy()
+    clone.set_storage(1, 9)
+    clone.balance = 7
+    assert account.get_storage(1) == 2
+    assert account.balance == 5
+
+
+def test_world_root_changes_with_state():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    root1 = world.root()
+    world.get_account(1).balance = 11
+    assert world.root() != root1
+
+
+def test_world_root_order_independent():
+    w1 = WorldState()
+    w1.create_account(1, balance=10)
+    w1.create_account(2, balance=20)
+    w2 = WorldState()
+    w2.create_account(2, balance=20)
+    w2.create_account(1, balance=10)
+    assert w1.root() == w2.root()
+
+
+def test_world_copy_deep():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    clone = world.copy()
+    clone.get_account(1).balance = 99
+    assert world.get_account(1).balance == 10
+    assert world.root() != clone.root()
+
+
+def test_storage_root_sensitive_to_values():
+    assert storage_root({1: 2}) != storage_root({1: 3})
+    assert storage_root({}) == 0
+
+
+def test_trie_depth_monotone():
+    depths = [trie_depth(n) for n in (1, 10, 100, 10_000, 10**6)]
+    assert depths == sorted(depths)
+    assert trie_depth(0) == 1
+
+
+def test_statedb_read_through():
+    world = WorldState()
+    world.create_account(1, balance=7)
+    state = StateDB(world)
+    assert state.get_balance(1) == 7
+    assert state.get_balance(999) == 0  # absent account reads as empty
+
+
+def test_statedb_writes_do_not_touch_world_until_commit():
+    world = WorldState()
+    world.create_account(1, balance=7)
+    state = StateDB(world)
+    state.set_balance(1, 100)
+    assert world.get_account(1).balance == 7
+    state.commit()
+    assert world.get_account(1).balance == 100
+
+
+def test_statedb_storage_roundtrip_and_commit():
+    world = WorldState()
+    world.create_account(1)
+    state = StateDB(world)
+    state.set_storage(1, 5, 42)
+    assert state.get_storage(1, 5) == 42
+    state.commit()
+    assert world.get_account(1).get_storage(5) == 42
+
+
+def test_statedb_storage_delete_on_commit():
+    world = WorldState()
+    account = world.create_account(1)
+    account.set_storage(5, 9)
+    state = StateDB(world)
+    state.set_storage(1, 5, 0)
+    state.commit()
+    assert world.get_account(1).get_storage(5) == 0
+
+
+def test_sub_balance_insufficient():
+    world = WorldState()
+    world.create_account(1, balance=5)
+    state = StateDB(world)
+    with pytest.raises(InsufficientBalance):
+        state.sub_balance(1, 10)
+
+
+def test_snapshot_revert_balance_nonce_storage():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    state = StateDB(world)
+    snap = state.snapshot()
+    state.set_balance(1, 99)
+    state.increment_nonce(1)
+    state.set_storage(1, 3, 4)
+    state.add_log(1, (7,), b"x")
+    state.revert_to(snap)
+    assert state.get_balance(1) == 10
+    assert state.get_nonce(1) == 0
+    assert state.get_storage(1, 3) == 0
+    assert state.logs == []
+
+
+def test_nested_snapshots():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    state = StateDB(world)
+    s1 = state.snapshot()
+    state.set_balance(1, 20)
+    s2 = state.snapshot()
+    state.set_balance(1, 30)
+    state.revert_to(s2)
+    assert state.get_balance(1) == 20
+    state.revert_to(s1)
+    assert state.get_balance(1) == 10
+
+
+def test_warmness_survives_revert():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    state = StateDB(world)
+    snap = state.snapshot()
+    state.get_storage(1, 5)
+    state.revert_to(snap)
+    assert state.is_slot_warm(1, 5)
+
+
+def test_create_account_revert():
+    world = WorldState()
+    state = StateDB(world)
+    snap = state.snapshot()
+    state.create_account(42, balance=1)
+    assert state.account_exists(42)
+    state.revert_to(snap)
+    assert not state.account_exists(42)
+
+
+@settings(max_examples=40)
+@given(st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 3),
+              st.integers(0, 2**64)),
+    min_size=1, max_size=30))
+def test_commit_equals_direct_application(ops):
+    """Property: committing a StateDB equals applying writes directly."""
+    world_a = WorldState()
+    world_b = WorldState()
+    for world in (world_a, world_b):
+        for address in range(6):
+            world.create_account(address, balance=100)
+    state = StateDB(world_a)
+    for address, slot, value in ops:
+        state.set_storage(address, slot, value)
+        world_b.get_account(address).set_storage(slot, value)
+    state.commit()
+    assert world_a.root() == world_b.root()
+
+
+@settings(max_examples=25)
+@given(st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 2), st.integers(0, 100)),
+    min_size=1, max_size=20))
+def test_snapshot_revert_is_identity(ops):
+    """Property: snapshot + arbitrary ops + revert leaves state as-is."""
+    world = WorldState()
+    for address in range(4):
+        account = world.create_account(address, balance=50)
+        account.set_storage(0, 7)
+    state = StateDB(world)
+    before = {(a, s): state.get_storage(a, s)
+              for a in range(4) for s in range(3)}
+    snap = state.snapshot()
+    for address, slot, value in ops:
+        state.set_storage(address, slot, value)
+    state.revert_to(snap)
+    after = {(a, s): state.get_storage(a, s)
+             for a in range(4) for s in range(3)}
+    assert before == after
+
+
+def test_disk_model_cold_then_warm():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    state = StateDB(world)
+    state.get_balance(1)
+    cold_cost = state.disk.stats.cost_units
+    state.get_balance(1)
+    warm_delta = state.disk.stats.cost_units - cold_cost
+    assert warm_delta < cold_cost
+
+
+def test_node_cache_makes_fresh_statedb_warm():
+    from repro.state.nodecache import NodeCache
+    world = WorldState()
+    world.create_account(1, balance=10)
+    cache = NodeCache()
+    s1 = StateDB(world, node_cache=cache)
+    s1.get_balance(1)
+    cost_first = s1.disk.stats.cost_units
+    s2 = StateDB(world, node_cache=cache)
+    s2.get_balance(1)
+    assert s2.disk.stats.cost_units < cost_first
+
+
+def test_node_cache_eviction():
+    from repro.state.nodecache import NodeCache
+    cache = NodeCache(capacity=2)
+    cache.add("a")
+    cache.add("b")
+    cache.add("c")
+    assert len(cache) == 2
+    assert not cache.contains("a")
+    assert cache.contains("c")

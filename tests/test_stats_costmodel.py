@@ -1,0 +1,121 @@
+"""Stats aggregation and cost model unit tests."""
+
+import pytest
+
+from repro.core import costmodel
+from repro.core import stats as S
+from repro.core.costmodel import CostTally, evm_execution_cost
+from repro.sim.emulator import JoinedRecord
+
+
+def record(**kwargs):
+    base = dict(
+        tx_hash=1, block_number=1, kind="token",
+        baseline_cost=1000, forerunner_cost=100, gas_used=50_000,
+        heard=True, heard_delay=5.0, outcome="satisfied",
+        ap_ready=True, perfect=True, first_context_perfect=True,
+        speculated_contexts=2,
+    )
+    base.update(kwargs)
+    return JoinedRecord(**base)
+
+
+def test_cost_tally_total():
+    tally = CostTally(fixed_units=10, io_units=20)
+    tally.add_cpu(30)
+    assert tally.total == 60
+    assert tally.detail["cpu"] == 30
+
+
+def test_evm_execution_cost():
+    tally = evm_execution_cost(100, io_units=500, write_ops=2)
+    assert tally.cpu_units == 100 * costmodel.EVM_STEP \
+        + 2 * costmodel.AP_WRITE
+    assert tally.io_units == 500
+    assert tally.fixed_units == costmodel.TX_FIXED
+
+
+def test_aggregate_speedup_weighted():
+    records = [record(baseline_cost=1000, forerunner_cost=100),
+               record(baseline_cost=3000, forerunner_cost=300)]
+    assert S.aggregate_speedup(records) == pytest.approx(10.0)
+    assert S.aggregate_speedup([]) == 0.0
+
+
+def test_summarize_fields():
+    records = [
+        record(),
+        record(heard=False, outcome="no_ap", forerunner_cost=1200,
+               perfect=False, first_context_perfect=False),
+        record(outcome="violated", perfect=False,
+               first_context_perfect=False, forerunner_cost=900),
+    ]
+    summary = S.summarize(records)
+    assert summary.heard_fraction == pytest.approx(2 / 3)
+    assert summary.satisfied_fraction == pytest.approx(1 / 2)
+    assert summary.unheard_speedup == pytest.approx(1000 / 1200)
+    assert summary.end_to_end_speedup < summary.effective_speedup
+
+
+def test_table2_ordering_invariant():
+    records = [record() for _ in range(6)]
+    records += [record(perfect=False, first_context_perfect=False)
+                for _ in range(3)]
+    rows = {r.name: r for r in S.table2(records)}
+    fore = rows["Forerunner"]
+    multi = rows["Perfect matching + multi-future prediction"]
+    single = rows["Perfect matching"]
+    assert fore.satisfied_fraction >= multi.satisfied_fraction \
+        >= single.satisfied_fraction
+
+
+def test_table3_fractions_sum_to_one():
+    records = [
+        record(),
+        record(perfect=False, first_context_perfect=False),
+        record(outcome="no_ap", perfect=False,
+               first_context_perfect=False),
+    ]
+    rows = S.table3(records)
+    assert sum(r.tx_fraction for r in rows) == pytest.approx(1.0)
+    assert sum(r.weighted_fraction for r in rows) == pytest.approx(1.0)
+
+
+def test_heard_delay_reverse_cdf_bounds():
+    records = [record(heard_delay=d) for d in (1, 5, 9, 30)]
+    cdf = S.heard_delay_reverse_cdf(records, thresholds=[0, 10, 40])
+    assert cdf[0] == (0.0, 1.0)
+    assert cdf[1][1] == pytest.approx(0.25)
+    assert cdf[2][1] == 0.0
+
+
+def test_speedup_histogram_buckets():
+    records = [
+        record(baseline_cost=50, forerunner_cost=100),    # <1x
+        record(baseline_cost=300, forerunner_cost=100),   # 3x
+        record(baseline_cost=10_000, forerunner_cost=100),  # >=50x
+    ]
+    histogram = dict(S.speedup_histogram(records))
+    assert histogram["<1x"] == pytest.approx(1 / 3)
+    assert histogram[">=50x"] == pytest.approx(1 / 3)
+    assert sum(histogram.values()) == pytest.approx(1.0)
+
+
+def test_gas_vs_speedup_buckets_sorted():
+    records = [record(gas_used=g, baseline_cost=g, forerunner_cost=100)
+               for g in (30_000, 60_000, 200_000, 800_000)]
+    rows = S.gas_vs_speedup(records)
+    gases = [g for g, _, _ in rows]
+    assert gases == sorted(gases)
+    speedups = [s for _, s, _ in rows]
+    assert speedups == sorted(speedups)  # bigger gas -> bigger speedup
+
+
+def test_unheard_overhead_factor_matches_paper_shape():
+    # Paper: unheard txs run at 0.81x (i.e. ~1.23x the baseline cost).
+    assert 1.15 < costmodel.UNHEARD_OVERHEAD_FACTOR < 1.35
+
+
+def test_speculation_factor_matches_paper():
+    # §5.6: pre-execution + AP synthesis ~= 12.19x a plain execution.
+    assert costmodel.SPECULATION_COST_FACTOR == pytest.approx(12.19)

@@ -1,0 +1,110 @@
+"""Instrumented-tracing structures: step records, frames, read order."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import pricefeed, registry
+from repro.core.trace import trace_transaction
+from repro.evm.assembler import assemble
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+from tests.conftest import ALICE, FEED, REGISTRY_ADDR, ROUND, TOKEN
+
+PF = pricefeed()
+
+
+def trace_pricefeed(oracle_world, timestamp=3990462):
+    tx = Transaction(sender=ALICE, to=FEED,
+                     data=PF.calldata("submit", ROUND, 1980), nonce=0)
+    header = BlockHeader(1, timestamp, 0xBEEF)
+    return trace_transaction(StateDB(oracle_world), header, tx)
+
+
+def test_steps_are_sequential(oracle_world):
+    trace = trace_pricefeed(oracle_world)
+    indices = [step.index for step in trace.steps]
+    assert indices == list(range(len(indices)))
+
+
+def test_read_set_keys_and_values(oracle_world):
+    trace = trace_pricefeed(oracle_world)
+    assert trace.read_set[("header", ("timestamp",))] == 3990462
+    active_key = ("storage", (FEED, PF.slot_of("activeRoundID")))
+    assert trace.read_set[active_key] == ROUND
+
+
+def test_write_set_holds_final_values(oracle_world):
+    trace = trace_pricefeed(oracle_world)
+    counts_key = ("storage", (FEED, PF.slot_of("submissionCounts",
+                                               ROUND)))
+    assert trace.write_set[counts_key] == 5  # 4 + 1
+
+
+def test_reads_in_order_keeps_duplicates(oracle_world):
+    """The prefetcher wants every read occurrence, first-read values
+    deduplicate only in the read set."""
+    trace = trace_pricefeed(oracle_world)
+    assert len(trace.reads_in_order) >= len(trace.read_set)
+
+
+def test_frame_events_for_cross_contract_call(world):
+    reg = registry()
+    from repro.contracts import erc20
+    token = erc20()
+    account = world.get_account(REGISTRY_ADDR)
+    account.set_storage(reg.slot_of("feeToken"), TOKEN)
+    account.set_storage(reg.slot_of("feeSink"), 0x511C)
+    world.get_account(TOKEN).set_storage(
+        token.slot_of("balanceOf", REGISTRY_ADDR), 10)
+    tx = Transaction(sender=ALICE, to=REGISTRY_ADDR,
+                     data=reg.calldata("registerPaid", 5), nonce=0)
+    trace = trace_transaction(
+        StateDB(world), BlockHeader(1, 1, 0xB), tx)
+    assert trace.result.success
+    assert len(trace.frames) == 2  # registry frame + token frame
+    depths = sorted(event.depth for event in trace.frames.values())
+    assert depths == [0, 1]
+    inner = [e for e in trace.frames.values() if e.depth == 1][0]
+    assert inner.code_address == TOKEN
+    assert inner.success
+    assert inner.end_index > inner.start_index
+
+
+def test_failed_frame_marked(world):
+    callee = "PUSH 0\nPUSH 0\nREVERT"
+    caller = """
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH 0
+        PUSH 0xDD
+        GAS
+        CALL
+        POP
+        STOP
+    """
+    w = WorldState()
+    w.create_account(ALICE, balance=10**21)
+    w.create_account(0xCA, code=assemble(caller))
+    w.create_account(0xDD, code=assemble(callee))
+    tx = Transaction(sender=ALICE, to=0xCA, nonce=0)
+    trace = trace_transaction(StateDB(w), BlockHeader(1, 1, 0xB), tx)
+    failed = [e for e in trace.frames.values() if not e.success]
+    assert len(failed) == 1
+
+
+def test_step_extras_for_memory_ops(oracle_world):
+    trace = trace_pricefeed(oracle_world)
+    sha3_steps = [s for s in trace.steps if s.name == "SHA3"]
+    assert sha3_steps
+    for step in sha3_steps:
+        assert "mem_offset" in step.extra
+        assert len(step.extra["data"]) == step.extra["mem_size"]
+
+
+def test_trace_length_property(oracle_world):
+    trace = trace_pricefeed(oracle_world)
+    assert trace.trace_length == len(trace.steps) > 100

@@ -1,0 +1,138 @@
+"""Trace -> S-EVM translation tests."""
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.contracts import erc20, pricefeed, registry
+from repro.core.sevm import GuardMode, SKind, is_reg
+from repro.core.trace import trace_transaction
+from repro.core.translate import translate_trace
+from repro.state.statedb import StateDB
+
+from tests.conftest import ALICE, BOB, FEED, REGISTRY_ADDR, ROUND, TOKEN
+
+
+def trace_and_translate(world, sender, to, data, timestamp=3990462,
+                        nonce=0):
+    state = StateDB(world)
+    tx = Transaction(sender=sender, to=to, data=data, nonce=nonce)
+    header = BlockHeader(number=1, timestamp=timestamp, coinbase=0xBEEF)
+    trace = trace_transaction(state, header, tx)
+    return trace, translate_trace(trace)
+
+
+def test_stack_ops_eliminated(oracle_world):
+    pf = pricefeed()
+    trace, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    assert result.stats.eliminated_stack > 0
+    assert not any(i.op in ("PUSH1", "DUP1", "SWAP1", "POP")
+                   for i in result.instrs)
+
+
+def test_control_flow_becomes_guards(oracle_world):
+    pf = pricefeed()
+    _, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    guards = [i for i in result.instrs if i.kind is SKind.GUARD]
+    assert guards, "expected control guards"
+    assert all(g.guard_mode in (GuardMode.EQ, GuardMode.TRUTH,
+                                GuardMode.NEQ) for g in guards)
+    assert result.stats.eliminated_control > 0
+
+
+def test_memory_fully_eliminated(oracle_world):
+    pf = pricefeed()
+    _, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    assert not any(i.op in ("MLOAD", "MSTORE") for i in result.instrs)
+    assert result.stats.eliminated_mem > 0
+
+
+def test_reads_and_writes_preserved(oracle_world):
+    pf = pricefeed()
+    _, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    reads = [i for i in result.instrs if i.kind is SKind.READ]
+    writes = [i for i in result.instrs if i.kind is SKind.WRITE]
+    read_ops = {i.op for i in reads}
+    assert "TIMESTAMP" in read_ops and "SLOAD" in read_ops
+    assert len(writes) == 2  # counts + prices SSTOREs
+
+
+def test_concrete_values_recorded(oracle_world):
+    pf = pricefeed()
+    _, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    for instr in result.instrs:
+        if instr.dest is not None:
+            assert instr.dest in result.concrete
+
+
+def test_reverting_path_has_no_writes(oracle_world):
+    pf = pricefeed()
+    trace, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980),
+        timestamp=ROUND + 600)  # stale round -> revert
+    assert not trace.result.success
+    assert not result.success
+    assert not any(i.kind is SKind.WRITE for i in result.instrs)
+    # Constraint checking still present.
+    assert any(i.kind is SKind.GUARD for i in result.instrs)
+
+
+def test_cross_contract_call_inlined(world):
+    """transferFrom through the AMM would exercise CALL; use registry's
+    registerPaid which extcalls the token."""
+    reg = registry()
+    token = erc20()
+    account = world.get_account(REGISTRY_ADDR)
+    account.set_storage(reg.slot_of("feeToken"), TOKEN)
+    account.set_storage(reg.slot_of("feeSink"), 0x511C)
+    world.get_account(TOKEN).set_storage(
+        token.slot_of("balanceOf", REGISTRY_ADDR), 10)
+    trace, result = trace_and_translate(
+        world, ALICE, REGISTRY_ADDR, reg.calldata("registerPaid", 5))
+    assert trace.result.success
+    # Writes to BOTH contracts appear in one flat path.
+    write_addresses = {i.key[0] for i in result.instrs
+                       if i.kind is SKind.WRITE}
+    assert TOKEN in write_addresses
+    assert REGISTRY_ADDR in write_addresses
+
+
+def test_loop_unrolled(world):
+    reg = registry()
+    _, result_2 = trace_and_translate(
+        world, ALICE, REGISTRY_ADDR, reg.calldata("registerMany", 10, 2))
+    _, result_6 = trace_and_translate(
+        world, BOB, REGISTRY_ADDR, reg.calldata("registerMany", 50, 6))
+    # More iterations -> proportionally more instructions (unrolling).
+    assert len(result_6.instrs) > len(result_2.instrs)
+
+
+def test_return_data_layout(world):
+    token = erc20()
+    world.get_account(TOKEN).set_storage(
+        token.slot_of("balanceOf", ALICE), 100)
+    _, result = trace_and_translate(
+        world, ALICE, TOKEN, token.calldata("transfer", BOB, 10))
+    # transfer returns bool true -> constant piece.
+    assert result.return_size == 32
+
+
+def test_gas_recorded(oracle_world):
+    pf = pricefeed()
+    trace, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    assert result.gas_used == trace.result.gas_used > 21_000
+
+
+def test_stats_consistency(oracle_world):
+    pf = pricefeed()
+    _, result = trace_and_translate(
+        oracle_world, ALICE, FEED, pf.calldata("submit", ROUND, 1980))
+    stats = result.stats
+    # The translated length equals what the bookkeeping predicts.
+    assert stats.sevm_unoptimized_len() == len(result.instrs)

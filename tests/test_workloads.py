@@ -1,0 +1,87 @@
+"""Workload generator tests."""
+
+import random
+
+import pytest
+
+from repro.chain.block import BlockHeader
+from repro.evm.interpreter import EVM
+from repro.state.statedb import StateDB
+from repro.workloads.gasprice import GasPriceModel
+from repro.workloads.mixed import MixedWorkload, TrafficConfig
+
+
+def test_gas_price_levels_discrete():
+    model = GasPriceModel()
+    rng = random.Random(3)
+    samples = {model.sample(rng) for _ in range(500)}
+    assert len(samples) <= len(model.levels)
+    assert all(s % 10**9 == 0 for s in samples)
+
+
+def test_gas_price_ties_common():
+    """Discrete levels must produce frequent ties (paper §4.2 fn. 8)."""
+    model = GasPriceModel()
+    rng = random.Random(4)
+    samples = [model.sample(rng) for _ in range(300)]
+    most_common = max(set(samples), key=samples.count)
+    assert samples.count(most_common) > 30
+
+
+@pytest.fixture(scope="module")
+def generated():
+    config = TrafficConfig(duration=120.0, seed=11)
+    workload = MixedWorkload(config)
+    return workload.generate()
+
+
+def test_stream_sorted_by_time(generated):
+    _, stream = generated
+    times = [t.time for t in stream]
+    assert times == sorted(times)
+
+
+def test_stream_has_all_kinds(generated):
+    _, stream = generated
+    kinds = {t.kind for t in stream}
+    assert {"oracle", "token", "dex", "eth"} <= kinds
+
+
+def test_nonces_sequential_per_sender(generated):
+    _, stream = generated
+    seen = {}
+    for timed in stream:
+        sender = timed.tx.sender
+        expected = seen.get(sender, 0)
+        assert timed.tx.nonce == expected
+        seen[sender] = expected + 1
+
+
+def test_generated_txs_execute_in_order(generated):
+    """Every generated transaction must be executable when applied in
+    creation order (the genesis world funds everything needed)."""
+    world, stream = generated
+    state = StateDB(world.copy() if hasattr(world, "copy") else world)
+    header = BlockHeader(number=1, timestamp=int(stream[-1].time) + 1,
+                         coinbase=0xBEEF)
+    failures = 0
+    for timed in stream[:150]:
+        result = EVM(state, header, timed.tx).execute_transaction()
+        if not result.success and timed.kind not in ("oracle", "auction"):
+            failures += 1
+    # Oracle/auction txs may revert by design (round/deadline); others
+    # should essentially always succeed.
+    assert failures <= 2
+
+
+def test_deterministic_given_seed():
+    c1 = MixedWorkload(TrafficConfig(duration=60.0, seed=5)).generate()
+    c2 = MixedWorkload(TrafficConfig(duration=60.0, seed=5)).generate()
+    assert [t.tx.hash for t in c1[1]] == [t.tx.hash for t in c2[1]]
+    assert c1[0].root() == c2[0].root()
+
+
+def test_different_seeds_differ():
+    c1 = MixedWorkload(TrafficConfig(duration=60.0, seed=5)).generate()
+    c2 = MixedWorkload(TrafficConfig(duration=60.0, seed=6)).generate()
+    assert [t.tx.hash for t in c1[1]] != [t.tx.hash for t in c2[1]]
