@@ -52,7 +52,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     for row in S.table3(run.records):
         print(f"  {row.name:<22} {row.tx_fraction:>7.2%}  "
               f"{row.speedup:>6.2f}x")
+    _print_cache_report(run)
     return 0
+
+
+def _print_cache_report(run) -> None:
+    """Print the speculation caching-layer counters (§5.6 savings)."""
+    cache = S.speculation_cache_report(run)
+    print("\nSpeculation caching layers:")
+    print(f"  prefix cache: {cache.prefix_hits} hits / "
+          f"{cache.prefix_misses} misses "
+          f"({cache.prefix_hit_rate:.2%} hit rate), "
+          f"{cache.prefix_invalidations} invalidations")
+    print(f"  predecessor executions: {cache.pred_execs} run, "
+          f"{cache.pred_execs_avoided} served from cache "
+          f"({cache.pred_reduction_factor:.2f}x instruction reduction, "
+          f"{cache.pred_execs_redundant} redundant re-executions left)")
+    print(f"  synthesis dedup: {cache.dedup_hits} hits / "
+          f"{cache.dedup_misses} misses "
+          f"({cache.dedup_hit_rate:.2%} hit rate)")
+    print(f"  off-path cost: {cache.actual_cost:,} paid vs "
+          f"{cache.logical_cost:,} uncached "
+          f"({cache.cost_saved:,} units saved)")
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
@@ -85,6 +106,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     print(f"effective speedup {summary.effective_speedup:.2f}x, "
           f"end-to-end {summary.end_to_end_speedup:.2f}x, "
           f"satisfied {summary.satisfied_fraction:.2%}")
+    _print_cache_report(run)
     return 0
 
 

@@ -63,6 +63,10 @@ class ChainManager:
         accounts = self.node.world.accounts()
         accounts.clear()
         accounts.update(snapshot.copy().accounts())
+        # In-place restore bypasses WorldState.apply; bump the version
+        # ourselves so version-keyed overlay caches cannot serve state
+        # from the abandoned branch.
+        self.node.world.version += 1
 
     def _branch_to(self, block: Block):
         """(branch blocks, fork point): the path from the nearest
@@ -114,6 +118,12 @@ class ChainManager:
         self.reorgs += 1
         branch, fork_point = self._branch_to(block)
         self._restore(fork_point.hash)
+        on_reorg = getattr(self.node, "on_reorg", None)
+        if on_reorg is not None:
+            # Overlay caches (the speculator's prefix cache) were built
+            # on the abandoned branch's state; drop them before the
+            # winning branch executes.
+            on_reorg()
         self._requeue_abandoned(old_head, fork_point, now)
         report = None
         for ancestor in branch:

@@ -120,6 +120,14 @@ class ForerunnerConfig:
     #: Ablation switches.
     enable_memoization: bool = True
     enable_prefetch: bool = True
+    #: Shared-prefix context cache: materialize each distinct
+    #: (header, predecessor-prefix) once per head and fork it.
+    enable_prefix_cache: bool = True
+    #: Trace-fingerprint synthesis dedup: clone an already-merged
+    #: identical path instead of re-running translate/optimize.
+    enable_synth_dedup: bool = True
+    #: Max cached predecessor prefixes (LRU).
+    prefix_cache_capacity: int = 1024
     #: Shortcut-selection heuristic: "coarse" | "default" | "fine".
     memoization_strategy: str = "default"
     #: Optional :class:`repro.core.optimize.PassConfig` ablating the
@@ -140,7 +148,10 @@ class ForerunnerNode:
             self.world,
             pass_config=self.config.pass_config,
             enable_memoization=self.config.enable_memoization,
-            memoization_strategy=self.config.memoization_strategy)
+            memoization_strategy=self.config.memoization_strategy,
+            enable_prefix_cache=self.config.enable_prefix_cache,
+            enable_synth_dedup=self.config.enable_synth_dedup,
+            prefix_cache_capacity=self.config.prefix_cache_capacity)
         self.prefetcher = Prefetcher(self.world, self.node_cache)
         self.accelerator = TransactionAccelerator()
         self.reports: List[BlockReport] = []
@@ -172,6 +183,12 @@ class ForerunnerNode:
         self.pool[tx.hash] = (tx, now)
         self.heard[tx.hash] = now
         self._pool_version += 1
+
+    def on_reorg(self) -> None:
+        """The chain manager switched branches: the world's contents
+        were restored in place (no commit, no version bump), so cached
+        prefixes must be dropped explicitly."""
+        self.speculator.invalidate_prefixes("reorg")
 
     def requeue(self, tx: Transaction, now: float) -> None:
         """Return an abandoned (reorged-out) transaction to the pool,
@@ -221,9 +238,14 @@ class ForerunnerNode:
                 start = max(now, self._workers[worker])
                 if deadline is not None and start >= deadline:
                     break
-                cost_before = self.speculator.total_speculation_cost
+                # Workers are scheduled by the *logical* cost — what an
+                # uncached speculator would pay — so AP readiness (and
+                # with it every Table 2/3 number) is identical whether
+                # the prefix cache / synthesis dedup are on or off; the
+                # actual (cheaper) cost feeds §5.6 accounting instead.
+                cost_before = self.speculator.total_logical_cost
                 path = self.speculator.speculate(tx, context)
-                job_cost = (self.speculator.total_speculation_cost
+                job_cost = (self.speculator.total_logical_cost
                             - cost_before)
                 finish = start + job_cost / self.config.worker_speed
                 self._workers[worker] = finish
@@ -296,6 +318,11 @@ class ForerunnerNode:
                 self._pool_version += 1
             self.speculator.drop(tx.hash)
         state.commit()
+        # The canonical head advanced: every cached predecessor prefix
+        # was built on the previous head's state and is now stale.
+        # (Commit also bumped world.version, so stale entries could
+        # never be *hit* — this eagerly frees them.)
+        self.speculator.invalidate_prefixes("new-head")
         root = self.world.root()
         if block.state_root is not None and block.state_root != root:
             raise ChainError(

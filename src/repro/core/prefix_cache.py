@@ -1,0 +1,131 @@
+"""Shared-prefix context cache for the speculator.
+
+The multi-future predictor emits many :class:`FutureContext`s whose
+predecessor lists share prefixes — every context of one transaction
+carries the sender's mandatory nonce chain, and the greedy ordering
+reuses the same price-sorted predecessors across target transactions.
+The seed speculator rebuilt each context from scratch, re-executing the
+shared predecessors once per context.
+
+This cache materializes each distinct ``(header, predecessor prefix)``
+once per committed head as a frozen copy-on-write :class:`StateDB`
+(:meth:`StateDB.fork`); later contexts fork the longest cached prefix
+and execute only the predecessors beyond it.  Because forks charge
+ancestor-touched keys warm — the classification a single sequential
+view would have produced — the target trace is byte-identical whether
+the prefix came from the cache or was re-executed.
+
+Keys embed the world's commit ``version``, so entries can never leak
+across heads; :meth:`invalidate` additionally drops everything eagerly
+on new canonical blocks and reorgs (``chainsync`` restores world
+contents in place, which a version check alone would miss).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.chain.block import BlockHeader
+from repro.state.statedb import StateDB
+
+
+def context_key(world_version: int, header: BlockHeader,
+                pred_hashes: Tuple[int, ...]) -> tuple:
+    """Cache key for one materialized predecessor prefix.
+
+    Every header field participates: predecessor execution reads the
+    predicted header (TIMESTAMP, coinbase fee credit, ...), so two
+    contexts only share a prefix state when their headers agree.
+    """
+    return (world_version,
+            header.number, header.timestamp, header.coinbase,
+            header.difficulty, header.gas_limit, header.chain_id,
+            pred_hashes)
+
+
+class PrefixEntry:
+    """One frozen prefix state plus its cumulative execution cost."""
+
+    __slots__ = ("state", "instructions", "io_units")
+
+    def __init__(self, state: StateDB, instructions: int,
+                 io_units: int) -> None:
+        #: Frozen StateDB holding the post-prefix overlay.
+        self.state = state
+        #: Cumulative predecessor instructions across the whole prefix.
+        self.instructions = instructions
+        #: Cumulative predecessor I/O cost units across the prefix.
+        self.io_units = io_units
+
+
+class PrefixCache:
+    """LRU cache of materialized predecessor prefixes."""
+
+    def __init__(self, capacity: int = 256, enabled: bool = True) -> None:
+        self.capacity = capacity
+        self.enabled = enabled
+        self._entries: "OrderedDict[tuple, PrefixEntry]" = OrderedDict()
+        # -- counters (core.stats / CLI surface these) ---------------------
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: Predecessor executions actually performed vs. served from
+        #: cached prefixes (the throughput benchmark's headline metric).
+        self.pred_execs = 0
+        self.pred_execs_avoided = 0
+        #: Same, in executed-instruction units.
+        self.pred_instructions = 0
+        self.pred_instructions_avoided = 0
+        #: Redundant executions: re-materializations of a key already
+        #: executed since the last invalidation.  Tracked whether the
+        #: cache is enabled or not, so the disabled mode measures how
+        #: much repeat work the seed speculator was doing (non-zero in
+        #: enabled mode only when LRU eviction forces a re-execution).
+        self.redundant_execs = 0
+        self.redundant_instructions = 0
+        self._seen: set = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[PrefixEntry]:
+        """The entry at ``key`` (refreshing its LRU position) or None."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def store(self, key: tuple, entry: PrefixEntry) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def note_execution(self, key: tuple, instructions: int) -> bool:
+        """Record that ``key``'s prefix step was just executed; returns
+        (and counts) whether that execution was redundant — i.e. the
+        same key was already executed since the last invalidation."""
+        redundant = key in self._seen
+        if redundant:
+            self.redundant_execs += 1
+            self.redundant_instructions += instructions
+        else:
+            self._seen.add(key)
+        return redundant
+
+    def invalidate(self, reason: str = "") -> int:
+        """Drop every entry (new canonical head / reorg); returns the
+        number of entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._seen.clear()
+        if dropped:
+            self.invalidations += 1
+        return dropped

@@ -9,11 +9,28 @@ Speculation cost is accounted (§5.6 reports pre-execution + synthesis at
 ~12x a plain execution) and, in the simulated node, charged against a
 worker pool so that APs only become available once synthesis would
 really have finished.
+
+Two redundancy-elimination layers sit between the predictor and the
+pipeline:
+
+* a **prefix cache** (:mod:`repro.core.prefix_cache`): distinct
+  predecessor prefixes are materialized once per head as frozen
+  copy-on-write :class:`StateDB` forks and shared across contexts;
+* **synthesis dedup**: traces are fingerprinted
+  (:func:`repro.core.trace.trace_fingerprint`) and an identical
+  already-merged path is cloned instead of re-synthesized.
+
+Both layers change what the speculator *pays*, never what it produces:
+traces, APs, and Merkle roots are byte-identical with the layers on or
+off.  Each :class:`SpeculationRecord` therefore carries two costs — the
+``synthesis_cost`` actually paid (§5.6 accounting reflects the saving)
+and the ``logical_cost`` an uncached speculator would have paid, which
+the worker pool schedules by so AP readiness stays deterministic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.block import BlockHeader
@@ -23,7 +40,8 @@ from repro.core.ap import AcceleratedProgram, APPath
 from repro.core.memoize import build_shortcuts
 from repro.core.merge import merge_path, prune_tree
 from repro.core.optimize import optimize_path
-from repro.core.trace import TraceResult, trace_transaction
+from repro.core.prefix_cache import PrefixCache, PrefixEntry, context_key
+from repro.core.trace import TraceResult, trace_fingerprint, trace_transaction
 from repro.core.translate import translate_trace
 from repro.errors import SpeculationError
 from repro.state.statedb import StateDB
@@ -79,9 +97,32 @@ class SpeculationRecord:
     tx_hash: int
     context_id: int
     trace_length: int
+    #: Off-path work actually paid, after prefix-cache and dedup savings.
     synthesis_cost: int
     merged: bool
     error: Optional[str] = None
+    #: What an uncached, dedup-free speculator would have paid (the
+    #: seed's accounting); the worker pool schedules by this.
+    logical_cost: int = 0
+    #: True when synthesis was skipped via trace-fingerprint dedup.
+    deduped: bool = False
+    #: Predecessors actually executed vs. served by the prefix cache.
+    preds_executed: int = 0
+    preds_cached: int = 0
+
+
+@dataclass
+class _PrefixOutcome:
+    """Cost summary of materializing one context's predecessor prefix."""
+
+    #: Instruction count / I/O units of the *full* prefix, cached or not
+    #: (inputs to the logical cost).
+    instructions_full: int = 0
+    io_full: int = 0
+    #: Cost units actually paid executing the uncached suffix.
+    paid: int = 0
+    executed: int = 0
+    cached: int = 0
 
 
 @dataclass
@@ -110,18 +151,34 @@ class Speculator:
                  blockhash_fn: Optional[Callable[[int], int]] = None,
                  pass_config=None,
                  enable_memoization: bool = True,
-                 memoization_strategy: str = "default") -> None:
+                 memoization_strategy: str = "default",
+                 enable_prefix_cache: bool = True,
+                 enable_synth_dedup: bool = True,
+                 prefix_cache_capacity: int = 1024) -> None:
         self.world = world
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
         self.pass_config = pass_config
         self.enable_memoization = enable_memoization
         self.memoization_strategy = memoization_strategy
+        self.enable_synth_dedup = enable_synth_dedup
+        self.prefix_cache = PrefixCache(
+            capacity=prefix_cache_capacity, enabled=enable_prefix_cache)
         self.aps: Dict[int, AcceleratedProgram] = {}
         self.records: List[SpeculationRecord] = []
         #: Synthesis stats of executed-and-dropped APs (§5.5).
         self.archive: List[ApArchive] = []
-        #: Total off-critical-path work performed, in cost units (§5.6).
+        #: Total off-critical-path work performed, in cost units (§5.6),
+        #: net of prefix-cache and dedup savings.
         self.total_speculation_cost = 0
+        #: Total work an uncached speculator would have performed; the
+        #: node's worker pool schedules by this so AP readiness (and
+        #: with it Table 2/3) is independent of the caching layers.
+        self.total_logical_cost = 0
+        #: Synthesis-dedup counters and per-tx fingerprint index.
+        self.dedup_hits = 0
+        self.dedup_misses = 0
+        self.dedup_cost_saved = 0
+        self._dedup: Dict[int, Dict[str, APPath]] = {}
         self._next_path_id = 0
 
     # -- public API ----------------------------------------------------------
@@ -132,6 +189,7 @@ class Speculator:
     def drop(self, tx_hash: int) -> None:
         """Forget a transaction's AP (e.g. after it was executed),
         archiving its synthesis statistics for §5.5 reporting."""
+        self._dedup.pop(tx_hash, None)
         ap = self.aps.pop(tx_hash, None)
         if ap is not None and ap.paths:
             self.archive.append(ApArchive(
@@ -140,6 +198,79 @@ class Speculator:
                 context_count=len(ap.context_ids),
                 shortcut_count=ap.shortcut_count,
             ))
+
+    def invalidate_prefixes(self, reason: str = "") -> int:
+        """Drop every cached prefix (new canonical head or reorg)."""
+        return self.prefix_cache.invalidate(reason)
+
+    # -- context materialization --------------------------------------------
+
+    def _materialize_context(self, context: FutureContext
+                             ) -> Tuple[StateDB, _PrefixOutcome]:
+        """Build the speculative pre-state for ``context``.
+
+        Returns a private (forked) StateDB positioned after the
+        context's predecessors, plus the prefix cost summary.  The
+        longest cached predecessor prefix is reused; every extension is
+        cached for later contexts.  With the cache disabled the same
+        fork chain is built but never stored, so the I/O classification
+        (and hence the trace) is identical in both modes.
+        """
+        outcome = _PrefixOutcome()
+        predecessors = context.predecessors
+        if not predecessors:
+            return StateDB(self.world), outcome
+        from repro.evm.interpreter import EVM  # local: cycle-free
+
+        cache = self.prefix_cache
+        hashes = tuple(p.hash for p in predecessors)
+        version = self.world.version
+        header = context.header
+        entry: Optional[PrefixEntry] = None
+        start = 0
+        if cache.enabled:
+            for length in range(len(predecessors), 0, -1):
+                found = cache.lookup(
+                    context_key(version, header, hashes[:length]))
+                if found is not None:
+                    entry, start = found, length
+                    break
+            if start:
+                cache.hits += 1
+            else:
+                cache.misses += 1
+        if entry is not None:
+            outcome.instructions_full = entry.instructions
+            outcome.io_full = entry.io_units
+            outcome.cached = start
+            cache.pred_execs_avoided += start
+            cache.pred_instructions_avoided += entry.instructions
+
+        parent: Optional[StateDB] = entry.state if entry is not None else None
+        for index in range(start, len(predecessors)):
+            child = parent.fork() if parent is not None \
+                else StateDB(self.world)
+            evm = EVM(child, header, predecessors[index],
+                      blockhash_fn=self.blockhash_fn)
+            evm.execute_transaction()
+            io_units = child.disk.stats.cost_units
+            outcome.instructions_full += evm.instruction_count
+            outcome.io_full += io_units
+            outcome.paid += (evm.instruction_count * costmodel.EVM_STEP
+                             + io_units)
+            outcome.executed += 1
+            cache.pred_execs += 1
+            cache.pred_instructions += evm.instruction_count
+            key = context_key(version, header, hashes[:index + 1])
+            cache.note_execution(key, evm.instruction_count)
+            cache.store(
+                key,
+                PrefixEntry(child, outcome.instructions_full,
+                            outcome.io_full))
+            parent = child
+        return parent.fork(), outcome
+
+    # -- speculation ---------------------------------------------------------
 
     def speculate(self, tx: Transaction,
                   context: FutureContext) -> Optional[APPath]:
@@ -157,15 +288,7 @@ class Speculator:
                 trace_length=0, synthesis_cost=0, merged=False,
                 error="deployment transactions are not specialized"))
             return None
-        state = StateDB(self.world)
-        # Apply speculated predecessors to build the context state.
-        predecessor_cost = 0
-        for predecessor in context.predecessors:
-            from repro.evm.interpreter import EVM  # local: cycle-free
-            evm = EVM(state, context.header, predecessor,
-                      blockhash_fn=self.blockhash_fn)
-            evm.execute_transaction()
-            predecessor_cost += evm.instruction_count * costmodel.EVM_STEP
+        state, prefix = self._materialize_context(context)
 
         trace = trace_transaction(state, context.header, tx,
                                   blockhash_fn=self.blockhash_fn)
@@ -175,30 +298,73 @@ class Speculator:
             # this speculated context: no bytecode ran, so there is
             # nothing to specialize — and the accelerator's native
             # envelope cannot be guarded by an AP.  Skip this future.
+            # Only the predecessor work actually performed is charged;
+            # the logical (scheduling) cost stays zero as before.
+            self.total_speculation_cost += prefix.paid
             self.records.append(SpeculationRecord(
                 tx_hash=tx.hash, context_id=context.context_id,
-                trace_length=0, synthesis_cost=0,
-                merged=False, error=f"envelope: {trace.result.error}"))
+                trace_length=0, synthesis_cost=prefix.paid,
+                merged=False, error=f"envelope: {trace.result.error}",
+                preds_executed=prefix.executed,
+                preds_cached=prefix.cached))
             return None
-        execution_cost = (len(trace.steps) * costmodel.EVM_STEP
-                          + state.disk.stats.cost_units)
-        synthesis_cost = int(
-            execution_cost * costmodel.SPECULATION_COST_FACTOR
-        ) + predecessor_cost
-        self.total_speculation_cost += synthesis_cost
+        target_cost = (len(trace.steps) * costmodel.EVM_STEP
+                       + state.disk.stats.cost_units)
+        logical_cost = int(
+            (target_cost + prefix.io_full)
+            * costmodel.SPECULATION_COST_FACTOR
+        ) + prefix.instructions_full * costmodel.EVM_STEP
+        self.total_logical_cost += logical_cost
+
+        fingerprint: Optional[str] = None
+        fingerprint_cost = 0
+        cached_path: Optional[APPath] = None
+        if self.enable_synth_dedup:
+            fingerprint = trace_fingerprint(trace)
+            fingerprint_cost = len(trace.steps) * costmodel.FINGERPRINT_STEP
+            cached_path = self._dedup.get(tx.hash, {}).get(fingerprint)
+            if cached_path is None:
+                self.dedup_misses += 1
 
         path_id = self._next_path_id
         self._next_path_id += 1
-        try:
-            path = synthesize_path(trace, path_id=path_id,
-                                   context_id=context.context_id,
-                                   pass_config=self.pass_config)
-        except SpeculationError as exc:
-            self.records.append(SpeculationRecord(
-                tx_hash=tx.hash, context_id=context.context_id,
-                trace_length=len(trace.steps), synthesis_cost=synthesis_cost,
-                merged=False, error=str(exc)))
-            return None
+        if cached_path is not None:
+            # Identical trace already synthesized and merged for this
+            # transaction: clone the path (fresh ids, shared immutable
+            # instruction/stats payload) instead of re-running
+            # translate/optimize.  Paying target_cost models the
+            # pre-execution that produced the trace; the ~11x synthesis
+            # surcharge is what dedup eliminates.
+            self.dedup_hits += 1
+            full_synthesis = int(
+                target_cost * costmodel.SPECULATION_COST_FACTOR)
+            actual_cost = prefix.paid + target_cost + fingerprint_cost
+            self.dedup_cost_saved += full_synthesis - target_cost \
+                - fingerprint_cost
+            path = replace(cached_path, path_id=path_id,
+                           context_id=context.context_id)
+        else:
+            actual_cost = prefix.paid + int(
+                target_cost * costmodel.SPECULATION_COST_FACTOR
+            ) + fingerprint_cost
+            try:
+                path = synthesize_path(trace, path_id=path_id,
+                                       context_id=context.context_id,
+                                       pass_config=self.pass_config)
+            except SpeculationError as exc:
+                self.total_speculation_cost += actual_cost
+                self.records.append(SpeculationRecord(
+                    tx_hash=tx.hash, context_id=context.context_id,
+                    trace_length=len(trace.steps),
+                    synthesis_cost=actual_cost,
+                    logical_cost=logical_cost,
+                    merged=False, error=str(exc),
+                    preds_executed=prefix.executed,
+                    preds_cached=prefix.cached))
+                return None
+            if fingerprint is not None:
+                self._dedup.setdefault(tx.hash, {})[fingerprint] = path
+        self.total_speculation_cost += actual_cost
 
         ap = self.aps.get(tx.hash)
         if ap is None:
@@ -211,15 +377,23 @@ class Speculator:
                 build_shortcuts(ap, self.memoization_strategy)
         self.records.append(SpeculationRecord(
             tx_hash=tx.hash, context_id=context.context_id,
-            trace_length=len(trace.steps), synthesis_cost=synthesis_cost,
-            merged=merged))
+            trace_length=len(trace.steps), synthesis_cost=actual_cost,
+            logical_cost=logical_cost, merged=merged,
+            deduped=cached_path is not None,
+            preds_executed=prefix.executed,
+            preds_cached=prefix.cached))
         return path
 
     def speculate_many(self, tx: Transaction,
                        contexts: Iterable[FutureContext]) -> int:
-        """Speculate on several futures; returns merged-path count."""
+        """Speculate on several futures; returns merged-path count.
+
+        Only paths :func:`merge_path` actually accepted are counted —
+        a synthesized path whose merge failed does not contribute.
+        """
         merged = 0
         for context in contexts:
-            if self.speculate(tx, context) is not None:
+            path = self.speculate(tx, context)
+            if path is not None and self.records[-1].merged:
                 merged += 1
         return merged

@@ -380,3 +380,87 @@ def offpath_overhead(run) -> OverheadReport:
         execution_cost_baseline=baseline_total,
         ratio=total / baseline_total,
     )
+
+
+# ---------------------------------------------------------------------------
+# Speculation caching layers: prefix cache + synthesis dedup
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpeculationCacheReport:
+    """Work saved by the prefix cache and trace-fingerprint dedup."""
+
+    # -- prefix cache --------------------------------------------------------
+    prefix_hits: int = 0
+    prefix_misses: int = 0
+    prefix_evictions: int = 0
+    prefix_invalidations: int = 0
+    pred_execs: int = 0
+    pred_execs_avoided: int = 0
+    pred_instructions: int = 0
+    pred_instructions_avoided: int = 0
+    #: Redundant (repeat) materializations actually performed — the
+    #: seed re-executed every repeat demand; with the cache on only
+    #: LRU evictions can force one.
+    pred_execs_redundant: int = 0
+    pred_instructions_redundant: int = 0
+    # -- synthesis dedup -----------------------------------------------------
+    dedup_hits: int = 0
+    dedup_misses: int = 0
+    dedup_cost_saved: int = 0
+    # -- cost split ----------------------------------------------------------
+    #: Off-path cost actually paid (net of both layers).
+    actual_cost: int = 0
+    #: What an uncached speculator would have paid (seed accounting).
+    logical_cost: int = 0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        lookups = self.prefix_hits + self.prefix_misses
+        return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        lookups = self.dedup_hits + self.dedup_misses
+        return self.dedup_hits / lookups if lookups else 0.0
+
+    @property
+    def pred_reduction_factor(self) -> float:
+        """Redundant-predecessor-work reduction, in instruction units:
+        (demanded instructions) / (actually executed instructions)."""
+        demanded = self.pred_instructions + self.pred_instructions_avoided
+        if not self.pred_instructions:
+            return float(demanded) if demanded else 1.0
+        return demanded / self.pred_instructions
+
+    @property
+    def cost_saved(self) -> int:
+        return max(0, self.logical_cost - self.actual_cost)
+
+
+def speculation_cache_report(source) -> SpeculationCacheReport:
+    """Aggregate cache/dedup counters from a Speculator, a
+    ForerunnerNode, or an EvaluationRun."""
+    speculator = source
+    for attribute in ("forerunner_node", "speculator"):
+        inner = getattr(speculator, attribute, None)
+        if inner is not None:
+            speculator = inner
+    prefix = speculator.prefix_cache
+    return SpeculationCacheReport(
+        prefix_hits=prefix.hits,
+        prefix_misses=prefix.misses,
+        prefix_evictions=prefix.evictions,
+        prefix_invalidations=prefix.invalidations,
+        pred_execs=prefix.pred_execs,
+        pred_execs_avoided=prefix.pred_execs_avoided,
+        pred_instructions=prefix.pred_instructions,
+        pred_instructions_avoided=prefix.pred_instructions_avoided,
+        pred_execs_redundant=prefix.redundant_execs,
+        pred_instructions_redundant=prefix.redundant_instructions,
+        dedup_hits=speculator.dedup_hits,
+        dedup_misses=speculator.dedup_misses,
+        dedup_cost_saved=speculator.dedup_cost_saved,
+        actual_cost=speculator.total_speculation_cost,
+        logical_cost=speculator.total_logical_cost,
+    )

@@ -8,6 +8,7 @@ set (context variables read and their values), and the write set.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -96,6 +97,36 @@ class TraceResult:
     def trace_length(self) -> int:
         """Number of EVM instructions executed."""
         return len(self.steps)
+
+
+def trace_fingerprint(trace: "TraceResult") -> str:
+    """Content hash of a trace: instruction stream, read/write sets,
+    frame shape, and the execution outcome.
+
+    Two pre-executions with equal fingerprints would synthesize the
+    same AP path, so the speculator can reuse the already-merged one
+    (synthesis dedup).  The fingerprint deliberately excludes the
+    context id — that is exactly the dimension dedup collapses.
+    """
+    digest = hashlib.sha256()
+    update = digest.update
+    result = trace.result
+    update(repr((result.success, result.gas_used, result.return_data,
+                 result.error, result.logs)).encode())
+    for step in trace.steps:
+        update(repr((step.op, step.pc, step.name, step.frame_id,
+                     step.depth, step.code_address, step.inputs,
+                     step.output, step.gas_cost)).encode())
+        if step.extra:
+            update(repr(sorted(step.extra.items())).encode())
+    update(repr(sorted(trace.read_set.items())).encode())
+    update(repr(sorted(trace.write_set.items())).encode())
+    for frame_id in sorted(trace.frames):
+        event = trace.frames[frame_id]
+        update(repr((frame_id, event.parent_id, event.code_address,
+                     event.depth, event.start_index, event.end_index,
+                     event.success, event.return_data)).encode())
+    return digest.hexdigest()
 
 
 def trace_transaction(

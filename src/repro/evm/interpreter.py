@@ -98,7 +98,7 @@ class _Frame:
     """Mutable state of one executing call."""
 
     __slots__ = ("msg", "code", "stack", "memory", "pc", "gas",
-                 "jumpdests", "frame_id", "returned")
+                 "jumpdests", "frame_id", "returned", "program")
 
     def __init__(self, msg: Message, code: bytes, frame_id: int) -> None:
         self.msg = msg
@@ -110,6 +110,7 @@ class _Frame:
         self.jumpdests = _valid_jumpdests(code)
         self.frame_id = frame_id
         self.returned = b""
+        self.program = _decode_program(code)
 
 
 _JUMPDEST_CACHE: dict = {}
@@ -138,6 +139,78 @@ def _valid_jumpdests(code: bytes) -> frozenset:
     if len(_JUMPDEST_CACHE) < 4096:
         _JUMPDEST_CACHE[code] = result
     return result
+
+
+_PROGRAM_CACHE: dict = {}
+
+
+def _push_entry(op: int, value: int, next_pc: int):
+    """Pre-decoded PUSH: the immediate and the landing pc are baked in."""
+    def run(evm: "EVM", frame: "_Frame", pc: int, info) -> None:
+        frame.stack.push(value)
+        frame.pc = next_pc
+        evm._emit(frame, pc, op, info.name, (), value, info.gas)
+    return run
+
+
+def _undefined_entry(op: int):
+    message = f"undefined opcode {op:#04x}"
+
+    def run(evm: "EVM", frame: "_Frame", pc: int, info) -> None:
+        raise InvalidOpcode(message)
+    return run
+
+
+def _unimplemented_entry(name: str):
+    message = f"unimplemented opcode {name}"
+
+    def run(evm: "EVM", frame: "_Frame", pc: int, info) -> None:
+        raise InvalidOpcode(message)
+    return run
+
+
+def _decode_program(code: bytes):
+    """Per-pc dispatch table: ``program[pc] == (handler, info)``.
+
+    Decoding (opcode lookup, handler binding, PUSH-immediate parsing)
+    happens once per code blob instead of once per executed step; the
+    same contracts run over and over, so this is cached like the
+    jumpdest analysis.  Positions inside PUSH immediates stay ``None``
+    — the interpreter loop falls back to byte-at-a-time semantics for
+    the (normally unreachable) case of a pc landing there.
+
+    ``info`` is ``None`` for undefined opcodes: the loop then skips the
+    gas charge, matching the pre-decode behaviour where the opcode
+    lookup failed before any gas was charged.
+    """
+    cached = _PROGRAM_CACHE.get(code)
+    if cached is not None:
+        return cached
+    n = len(code)
+    program: list = [None] * n
+    opcode_table = opcodes.OPCODES
+    i = 0
+    while i < n:
+        op = code[i]
+        info = opcode_table.get(op)
+        if info is None:
+            program[i] = (_undefined_entry(op), None)
+            i += 1
+            continue
+        if opcodes.is_push(op):
+            size = opcodes.push_size(op)
+            value = bytes_to_int(code[i + 1:i + 1 + size])
+            program[i] = (_push_entry(op, value, i + 1 + size), info)
+            i += 1 + size
+            continue
+        handler = _HANDLERS.get(op)
+        if handler is None:
+            handler = _unimplemented_entry(info.name)
+        program[i] = (handler, info)
+        i += 1
+    if len(_PROGRAM_CACHE) < 4096:
+        _PROGRAM_CACHE[code] = program
+    return program
 
 
 class EVM:
@@ -310,16 +383,35 @@ class EVM:
     # -- main loop ---------------------------------------------------------------
 
     def _run(self, frame: _Frame) -> bytes:
-        """Interpreter loop for one frame; returns the frame's output."""
+        """Interpreter loop for one frame; returns the frame's output.
+
+        Hot path: one list index into the pre-decoded program replaces
+        the per-step opcode-table lookup, push/dup/swap classification,
+        and handler-dict probe of the byte-at-a-time loop.
+        """
         code = frame.code
+        program = frame.program
         n = len(code)
+        charge = self._charge
         while frame.pc < n:
-            op = code[frame.pc]
-            try:
-                info = opcodes.OPCODES[op]
-            except KeyError:
-                raise InvalidOpcode(f"undefined opcode {op:#04x}")
-            result = self._execute_op(frame, op, info)
+            pc = frame.pc
+            entry = program[pc]
+            if entry is None:
+                # pc landed inside a PUSH immediate (requires a
+                # contrived jump table); interpret the raw byte exactly
+                # like the pre-decode loop did.
+                op = code[pc]
+                try:
+                    info = opcodes.OPCODES[op]
+                except KeyError:
+                    raise InvalidOpcode(f"undefined opcode {op:#04x}")
+                result = self._execute_op(frame, op, info)
+            else:
+                handler, info = entry
+                if info is not None:
+                    charge(frame, info.gas)
+                    frame.pc = pc + 1  # default advance; jumps overwrite
+                result = handler(self, frame, pc, info)
             if result is not None:
                 return result
         return b""
@@ -507,6 +599,28 @@ for _code, _fn in COMPUTE_SEMANTICS.items():
         _binary(Op(_code), _fn)
     else:
         _ternary(Op(_code), _fn)
+
+
+# --- stack manipulation (pre-bound per opcode for the decoded program) -------
+
+def _dup(op_value: int, depth: int):
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        value = frame.stack.peek(depth - 1)
+        frame.stack.dup(depth)
+        evm._emit(frame, pc, op_value, info.name, (value,), value, info.gas)
+    return run
+
+
+def _swap(op_value: int, depth: int):
+    def run(evm: EVM, frame: _Frame, pc: int, info) -> None:
+        frame.stack.swap(depth)
+        evm._emit(frame, pc, op_value, info.name, (), None, info.gas)
+    return run
+
+
+for _n in range(1, 17):
+    _HANDLERS[0x80 + _n - 1] = _dup(0x80 + _n - 1, _n)
+    _HANDLERS[0x90 + _n - 1] = _swap(0x90 + _n - 1, _n)
 
 
 # --- SHA3 -------------------------------------------------------------------

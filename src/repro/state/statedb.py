@@ -39,17 +39,62 @@ class StateDB:
     """
 
     def __init__(self, world: WorldState, disk: Optional[DiskModel] = None,
-                 node_cache=None) -> None:
+                 node_cache=None,
+                 parent: Optional["StateDB"] = None) -> None:
         self.world = world
         self.disk = disk if disk is not None else DiskModel()
         self.disk.account_depth = world.account_trie_depth()
         #: Optional :class:`repro.state.nodecache.NodeCache` — keys warm
         #: there are charged warm even on this view's first touch.
         self.node_cache = node_cache
+        #: Copy-on-write parent view (see :meth:`fork`).  Reads fall
+        #: through to frozen ancestors before hitting the world, and
+        #: are charged warm there — exactly the classification a single
+        #: sequential view would have produced.
+        self._parent = parent
+        self._frozen = False
         self._cache: Dict[int, Account] = {}
         self._loaded_slots: Set[Tuple[int, int]] = set()
         self._journal: List[tuple] = []
         self.logs: List[LogEntry] = []
+
+    # -- copy-on-write forking ----------------------------------------------
+
+    def fork(self) -> "StateDB":
+        """A child view layered on this one (prefix-cache support).
+
+        The child sees every change made in this view (and its
+        ancestors) and copies touched accounts on first access; this
+        view is frozen — further writes through it raise.  The child
+        gets a fresh :class:`DiskModel`, so its I/O is accounted
+        separately, with ancestor-cached keys charged warm.
+        """
+        self._frozen = True
+        return StateDB(self.world, node_cache=self.node_cache, parent=self)
+
+    def _assert_mutable(self) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                "StateDB is frozen (it has forked children); "
+                "write through a fork instead")
+
+    def _inherited_account(self, address: int) -> Optional[Account]:
+        """Nearest ancestor's working copy of ``address`` (read-only)."""
+        ancestor = self._parent
+        while ancestor is not None:
+            cached = ancestor._cache.get(address)
+            if cached is not None:
+                return cached
+            ancestor = ancestor._parent
+        return None
+
+    def _slot_loaded_in_ancestors(self, key: Tuple[int, int]) -> bool:
+        ancestor = self._parent
+        while ancestor is not None:
+            if key in ancestor._loaded_slots:
+                return True
+            ancestor = ancestor._parent
+        return False
 
     # -- internal ----------------------------------------------------------
 
@@ -59,6 +104,15 @@ class StateDB:
         if cached is not None:
             self.disk.charge_warm()
             return cached
+        inherited = self._inherited_account(address)
+        if inherited is not None:
+            # Copy-on-first-touch from the frozen ancestor chain; the
+            # ancestor already paid the cold walk, so this is warm.
+            self.disk.charge_warm()
+            working = Account(inherited.balance, inherited.nonce,
+                              inherited.code, dict(inherited.storage))
+            self._cache[address] = working
+            return working
         committed = self.world.get_account(address)
         if (self.node_cache is not None
                 and self.node_cache.contains(("acct", address))):
@@ -85,11 +139,14 @@ class StateDB:
 
     def is_account_warm(self, address: int) -> bool:
         """True if ``address`` is already in this view's cache."""
-        return address in self._cache
+        return (address in self._cache
+                or self._inherited_account(address) is not None)
 
     def is_slot_warm(self, address: int, slot: int) -> bool:
         """True if storage slot is already in this view's cache."""
-        return (address, slot) in self._loaded_slots
+        key = (address, slot)
+        return key in self._loaded_slots \
+            or self._slot_loaded_in_ancestors(key)
 
     def warm_account(self, address: int) -> None:
         """Prefetch one account into the cache (charges this view's disk)."""
@@ -103,11 +160,14 @@ class StateDB:
 
     def account_exists(self, address: int) -> bool:
         """True if the account exists in cache or committed state."""
-        return address in self._cache or address in self.world
+        return (address in self._cache
+                or self._inherited_account(address) is not None
+                or address in self.world)
 
     def create_account(self, address: int, balance: int = 0,
                        code: bytes = b"") -> None:
         """Create a fresh account in the working view."""
+        self._assert_mutable()
         self._journal.append(("create", address, self._cache.get(address)))
         self._cache[address] = Account(balance=balance, code=code)
 
@@ -115,6 +175,7 @@ class StateDB:
         return self._load_account(address).balance
 
     def set_balance(self, address: int, value: int) -> None:
+        self._assert_mutable()
         account = self._load_account(address)
         self._journal.append(("balance", address, account.balance))
         account.balance = value
@@ -133,6 +194,7 @@ class StateDB:
         return self._load_account(address).nonce
 
     def increment_nonce(self, address: int) -> None:
+        self._assert_mutable()
         account = self._load_account(address)
         self._journal.append(("nonce", address, account.nonce))
         account.nonce += 1
@@ -141,6 +203,7 @@ class StateDB:
         return self._load_account(address).code
 
     def set_code(self, address: int, code: bytes) -> None:
+        self._assert_mutable()
         account = self._load_account(address)
         self._journal.append(("code", address, account.code))
         account.code = code
@@ -153,6 +216,12 @@ class StateDB:
         key = (address, slot)
         if key in self._loaded_slots:
             self.disk.charge_warm()
+            return account.storage.get(slot, 0)
+        if self._slot_loaded_in_ancestors(key):
+            # The ancestor chain paid the cold walk; its (possibly
+            # written) value arrived with the copied working account.
+            self.disk.charge_warm()
+            self._loaded_slots.add(key)
             return account.storage.get(slot, 0)
         committed = self.world.get_account(address)
         if (self.node_cache is not None
@@ -172,10 +241,14 @@ class StateDB:
 
     def set_storage(self, address: int, slot: int, value: int) -> None:
         """SSTORE path; journals the previous working value."""
+        self._assert_mutable()
         account = self._load_account(address)
         key = (address, slot)
         if key in self._loaded_slots:
             old = account.storage.get(slot, 0)
+        elif self._slot_loaded_in_ancestors(key):
+            old = account.storage.get(slot, 0)
+            self._loaded_slots.add(key)
         else:
             old = self._committed_slot(address, slot)
             self._loaded_slots.add(key)
@@ -186,6 +259,7 @@ class StateDB:
 
     def add_log(self, address: int, topics: Tuple[int, ...], data: bytes) -> None:
         """Append a LOG entry (journaled)."""
+        self._assert_mutable()
         self._journal.append(("log",))
         self.logs.append(LogEntry(address, topics, data))
 
@@ -197,6 +271,7 @@ class StateDB:
 
     def revert_to(self, snap: int) -> None:
         """Undo every change made after :meth:`snapshot` returned ``snap``."""
+        self._assert_mutable()
         while len(self._journal) > snap:
             entry = self._journal.pop()
             kind = entry[0]
@@ -239,6 +314,15 @@ class StateDB:
         return result
 
     def commit(self) -> None:
-        """Fold this view's changes into the committed world state."""
+        """Fold this view's changes into the committed world state.
+
+        Forked views cannot commit: their caches only hold the deltas
+        since the fork point, so folding them in would lose ancestor
+        writes.  Forks are speculative by construction and are simply
+        discarded.
+        """
+        if self._parent is not None:
+            raise RuntimeError("cannot commit a forked StateDB view")
+        self._assert_mutable()
         self.world.apply(self.dirty_accounts())
         self._journal.clear()

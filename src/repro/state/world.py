@@ -18,6 +18,10 @@ class WorldState:
 
     def __init__(self) -> None:
         self._accounts: Dict[int, Account] = {}
+        #: Monotonic commit counter.  Overlay caches built on top of a
+        #: world (the speculator's prefix cache) embed the version in
+        #: their keys, so any commit implicitly invalidates them.
+        self.version = 0
 
     # -- access -----------------------------------------------------------
 
@@ -42,12 +46,14 @@ class WorldState:
         """Create (or overwrite) an account; returns it."""
         account = Account(balance=balance, code=code)
         self._accounts[address] = account
+        self.version += 1
         return account
 
     def apply(self, dirty: Dict[int, Account]) -> None:
         """Commit a finished execution's dirty accounts."""
         for address, account in dirty.items():
             self._accounts[address] = account
+        self.version += 1
 
     def copy(self) -> "WorldState":
         """Deep copy; used by the recorder/emulator to reset state (§5.4)."""

@@ -120,6 +120,39 @@ class TestPrefetcher:
         prefetcher.prefetch([("storage", (FEED, 0))])
         assert prefetcher.offpath_cost > 0
 
+    def test_prefetch_turns_cold_reads_into_warm_hits(self):
+        """Isolation: after a prefetch, a fresh critical-path StateDB
+        performs zero cold trie walks on the prefetched keys — every
+        lookup is a warm NodeCache hit at exactly WARM_COST units."""
+        from repro.state.diskio import WARM_COST
+
+        world = fresh_world()
+        cache = NodeCache()
+        slot = PF.slot_of("prices", ROUND)
+
+        # Without prefetching, the same reads walk the trie from disk.
+        cold_state = StateDB(world, node_cache=NodeCache())
+        cold_state.get_storage(FEED, slot)
+        cold_state.get_balance(ALICE)
+        assert cold_state.disk.stats.cold_account_loads > 0
+        assert cold_state.disk.stats.cold_slot_loads > 0
+
+        prefetcher = Prefetcher(world, cache)
+        prefetcher.prefetch(
+            [("storage", (FEED, slot)), ("balance", (ALICE,))],
+            tx_sender=ALICE, tx_to=FEED)
+        # The cold-walk expense was paid off the critical path.
+        assert prefetcher.offpath_cost > 0
+
+        warm_state = StateDB(world, node_cache=cache)
+        warm_state.get_storage(FEED, slot)
+        warm_state.get_balance(ALICE)
+        stats = warm_state.disk.stats
+        assert stats.cold_account_loads == 0
+        assert stats.cold_slot_loads == 0
+        assert stats.warm_hits > 0
+        assert stats.cost_units == stats.warm_hits * WARM_COST
+
     def test_prefetch_idempotent(self):
         world = fresh_world()
         prefetcher = Prefetcher(world, NodeCache())
