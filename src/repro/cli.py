@@ -13,6 +13,10 @@ Commands:
   accelerated program (Figure 8), or ``--merged`` for the FC1+FC4
   case-branching tree (Figure 10).
 * ``history``   — print the Figure 2 block-saturation series.
+* ``report``    — record + replay a workload and print the stage
+  breakdown; ``--metrics`` dumps the deterministic metrics snapshot,
+  ``--trace-out PATH`` writes the canonical JSONL trace (two runs of
+  the same workload produce byte-identical files).
 """
 
 from __future__ import annotations
@@ -187,6 +191,39 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_jsonl
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.emulator import replay
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="report",
+        traffic=TrafficConfig(duration=args.duration, seed=args.seed),
+        observers={"live": LatencyModel()},
+        seed=args.seed)
+    dataset = record_dataset(config)
+    run = replay(dataset, args.observer)
+    print(f"dataset {dataset.name}: {len(run.records)} txs, "
+          f"roots matched {run.roots_matched}/{run.blocks_executed}")
+    print("\nStage breakdown (logical cost units):")
+    for name, entry in run.tracer.stage_totals().items():
+        print(f"  {name:<20} {entry['count']:>7} spans  "
+              f"{entry['cost']:>14,} units")
+    if args.metrics:
+        print("\nMetrics snapshot (deterministic instruments):")
+        for line in run.registry.render().splitlines():
+            print(f"  {line}")
+    if args.trace_out:
+        written = export_jsonl(
+            args.trace_out, run.tracer, run.registry,
+            meta={"dataset": dataset.name, "observer": run.observer,
+                  "seed": args.seed, "duration": args.duration})
+        print(f"\nwrote {written} trace lines -> {args.trace_out}")
+    return 0
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     from repro.bench.history import simulate_block_history
 
@@ -241,6 +278,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--merged", action="store_true",
         help="print the FC1+FC4 merged AP tree (Figure 10)")
     synthesize.set_defaults(func=_cmd_synthesize)
+
+    report = sub.add_parser(
+        "report",
+        help="replay a workload and print the obs stage breakdown")
+    report.add_argument("--duration", type=float, default=60.0,
+                        help="seconds of simulated traffic")
+    report.add_argument("--seed", type=int, default=2021)
+    report.add_argument("--observer", default="live")
+    report.add_argument("--metrics", action="store_true",
+                        help="print the deterministic metrics snapshot")
+    report.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the canonical JSONL trace here")
+    report.set_defaults(func=_cmd_report)
 
     history = sub.add_parser(
         "history", help="print the Figure-2 saturation series")

@@ -13,7 +13,7 @@ uses it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.ap import (
     AcceleratedProgram,
@@ -25,6 +25,28 @@ from repro.core.ap import (
     make_terminal,
 )
 from repro.core.sevm import Reg, SInstr, SKind, is_reg
+
+
+class MergeMetrics:
+    """Instrument bundle for merge/prune accounting.
+
+    Owned by the caller (the speculator allocates one under its scope
+    as ``merge.*``); :func:`merge_path` and :func:`prune_tree` accept
+    it optionally so library users pay nothing when uninstrumented.
+    """
+
+    __slots__ = ("attempts", "accepted", "rejected", "enriched",
+                 "new_branches", "pruned_nodes")
+
+    def __init__(self, scope) -> None:
+        self.attempts = scope.counter("attempts")
+        self.accepted = scope.counter("accepted")
+        self.rejected = scope.counter("rejected")
+        #: Structurally identical path folded into an existing terminal.
+        self.enriched = scope.counter("enriched")
+        #: Merges that opened a new branch at a guard.
+        self.new_branches = scope.counter("new_branches")
+        self.pruned_nodes = scope.counter("pruned_nodes")
 
 
 def _meta_key(instr: SInstr) -> tuple:
@@ -52,13 +74,16 @@ def structurally_equal(a: SInstr, b: SInstr) -> bool:
             and _meta_key(a) == _meta_key(b))
 
 
-def merge_path(ap: AcceleratedProgram, path: APPath) -> bool:
+def merge_path(ap: AcceleratedProgram, path: APPath,
+               metrics: Optional[MergeMetrics] = None) -> bool:
     """Fold ``path`` into ``ap``'s tree; returns True on success.
 
     On a structural mismatch that is not at a guard (which cannot happen
     for deterministic synthesis, but is handled defensively) the path is
     dropped and ``ap.merge_failures`` is bumped.
     """
+    if metrics is not None:
+        metrics.attempts.inc()
     terminal = make_terminal(path)
     instrs = path.pre_dce_instrs
     if ap.root is None:
@@ -66,6 +91,8 @@ def merge_path(ap: AcceleratedProgram, path: APPath) -> bool:
         ap.paths.append(path)
         ap.prefetch_keys.update(path.read_set.keys())
         ap.context_ids.add(path.context_id)
+        if metrics is not None:
+            metrics.accepted.inc()
         return True
 
     node = ap.root
@@ -80,15 +107,24 @@ def merge_path(ap: AcceleratedProgram, path: APPath) -> bool:
                 ap.paths.append(path)
                 ap.prefetch_keys.update(path.read_set.keys())
                 ap.context_ids.add(path.context_id)
+                if metrics is not None:
+                    metrics.accepted.inc()
+                    metrics.enriched.inc()
                 return True
             ap.merge_failures += 1
+            if metrics is not None:
+                metrics.rejected.inc()
             return False
         if index >= len(instrs):
             ap.merge_failures += 1
+            if metrics is not None:
+                metrics.rejected.inc()
             return False
         instr = instrs[index]
         if not structurally_equal(node.instr, instr):
             ap.merge_failures += 1
+            if metrics is not None:
+                metrics.rejected.inc()
             return False
         if node.branches is not None:
             key = branch_key_for(instr)
@@ -98,6 +134,9 @@ def merge_path(ap: AcceleratedProgram, path: APPath) -> bool:
                 ap.paths.append(path)
                 ap.prefetch_keys.update(path.read_set.keys())
                 ap.context_ids.add(path.context_id)
+                if metrics is not None:
+                    metrics.accepted.inc()
+                    metrics.new_branches.inc()
                 return True
             node = child
         else:
@@ -105,7 +144,8 @@ def merge_path(ap: AcceleratedProgram, path: APPath) -> bool:
         index += 1
 
 
-def prune_tree(ap: AcceleratedProgram) -> int:
+def prune_tree(ap: AcceleratedProgram,
+               metrics: Optional[MergeMetrics] = None) -> int:
     """Tree-wide dead-code elimination; returns removed node count.
 
     A node is live if it is a guard, a write, or defines a register used
@@ -160,4 +200,6 @@ def prune_tree(ap: AcceleratedProgram) -> int:
         return head
 
     ap.root = rebuild(ap.root)
+    if metrics is not None:
+        metrics.pruned_nodes.inc(removed)
     return removed

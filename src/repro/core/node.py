@@ -27,6 +27,8 @@ from repro.core.predictor import MultiFuturePredictor, PredictorConfig
 from repro.core.prefetcher import Prefetcher
 from repro.core.speculator import Speculator
 from repro.errors import ChainError
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import NullTracer, SpanTracer
 from repro.state.nodecache import NodeCache
 from repro.state.statedb import StateDB
 from repro.state.world import WorldState
@@ -69,11 +71,16 @@ class BlockReport:
 class BaselineNode:
     """Unmodified execution node (the speedup denominator)."""
 
-    def __init__(self, world: Optional[WorldState] = None) -> None:
+    def __init__(self, world: Optional[WorldState] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.world = world if world is not None else WorldState()
         self.node_cache = NodeCache()
         self.accelerator = TransactionAccelerator()
         self.reports: List[BlockReport] = []
+        obs = (registry or get_registry()).scope("baseline")
+        self.c_blocks = obs.counter("blocks")
+        self.c_txs = obs.counter("transactions")
+        self.c_cost = obs.counter("execution_cost")
 
     def process_block(self, block: Block) -> BlockReport:
         """Execute every transaction in order; commit; return the report."""
@@ -98,6 +105,9 @@ class BaselineNode:
                 io_reads=reads_after - reads_before,
             ))
         state.commit()
+        self.c_blocks.inc()
+        self.c_txs.inc(len(records))
+        self.c_cost.inc(sum(r.cost for r in records))
         report = BlockReport(block.number, self.world.root(), records)
         self.reports.append(report)
         return report
@@ -133,17 +143,42 @@ class ForerunnerConfig:
     #: Optional :class:`repro.core.optimize.PassConfig` ablating the
     #: specialization passes.
     pass_config: object = None
+    #: Observability: record per-stage spans (deterministic cost-unit
+    #: timing).  Disabling swaps in a no-op tracer; pipeline outputs
+    #: (traces, APs, Merkle roots, Tables 2/3) are identical either way.
+    enable_obs: bool = True
+    #: Bound on cached trace fingerprints per transaction (synthesis
+    #: dedup LRU).
+    dedup_capacity_per_tx: int = 16
 
 
 class ForerunnerNode:
     """Full Forerunner node (paper Figure 3)."""
 
     def __init__(self, world: Optional[WorldState] = None,
-                 config: Optional[ForerunnerConfig] = None) -> None:
+                 config: Optional[ForerunnerConfig] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
         self.world = world if world is not None else WorldState()
         self.config = config or ForerunnerConfig()
+        self.registry = registry or get_registry()
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.enable_obs:
+            self.tracer = SpanTracer(self.registry)
+        else:
+            self.tracer = NullTracer()
+        obs = self.registry.scope("node")
+        self.c_blocks = obs.counter("blocks")
+        self.c_txs = obs.counter("transactions")
+        self.c_cost = obs.counter("execution_cost")
+        self.c_heard = obs.counter("heard")
+        self.c_satisfied = obs.counter("satisfied")
+        self.c_spec_cycles = obs.counter("speculation_cycles")
+        self.c_reorgs = obs.counter("reorgs")
         self.node_cache = NodeCache()
-        self.predictor = MultiFuturePredictor(self.config.predictor)
+        self.predictor = MultiFuturePredictor(self.config.predictor,
+                                              registry=self.registry)
         self.speculator = Speculator(
             self.world,
             pass_config=self.config.pass_config,
@@ -151,8 +186,12 @@ class ForerunnerNode:
             memoization_strategy=self.config.memoization_strategy,
             enable_prefix_cache=self.config.enable_prefix_cache,
             enable_synth_dedup=self.config.enable_synth_dedup,
-            prefix_cache_capacity=self.config.prefix_cache_capacity)
-        self.prefetcher = Prefetcher(self.world, self.node_cache)
+            prefix_cache_capacity=self.config.prefix_cache_capacity,
+            dedup_capacity_per_tx=self.config.dedup_capacity_per_tx,
+            registry=self.registry,
+            tracer=self.tracer)
+        self.prefetcher = Prefetcher(self.world, self.node_cache,
+                                     registry=self.registry)
         self.accelerator = TransactionAccelerator()
         self.reports: List[BlockReport] = []
         # Pending pool: hash -> (tx, heard_time).
@@ -187,8 +226,10 @@ class ForerunnerNode:
     def on_reorg(self) -> None:
         """The chain manager switched branches: the world's contents
         were restored in place (no commit, no version bump), so cached
-        prefixes must be dropped explicitly."""
-        self.speculator.invalidate_prefixes("reorg")
+        prefixes AND cached dedup fingerprints must be dropped
+        explicitly — both reference state of the abandoned branch."""
+        self.c_reorgs.inc()
+        self.speculator.on_reorg()
 
     def requeue(self, tx: Transaction, now: float) -> None:
         """Return an abandoned (reorged-out) transaction to the pool,
@@ -217,6 +258,7 @@ class ForerunnerNode:
         if state_key == self._last_spec_state:
             return 0  # nothing changed since the last cycle
         self._last_spec_state = state_key
+        self.c_spec_cycles.inc()
         pending = [tx for tx, _ in self.pool.values()]
         prediction = self.predictor.predict(
             pending, block_gas_limit=15_000_000)
@@ -283,8 +325,13 @@ class ForerunnerNode:
             ap = self.speculator.get_ap(tx.hash)
             ap_ready = (ap is not None and ap.root is not None
                         and ap.ready_at <= now)
-            receipt = self.accelerator.execute(
-                tx, block.header, state, ap if ap_ready else None)
+            with self.tracer.span("execute", tx=f"{tx.hash:#x}",
+                                  block=block.number,
+                                  ap_ready=ap_ready) as span:
+                receipt = self.accelerator.execute(
+                    tx, block.header, state, ap if ap_ready else None)
+                span.add_cost(receipt.tally.total)
+                span.set(outcome=receipt.outcome)
             cost = receipt.tally.total
             if not heard:
                 # Forerunner's bookkeeping slows unheard transactions
@@ -313,10 +360,17 @@ class ForerunnerNode:
                 record.executed_nodes = receipt.ap_stats.executed_nodes
                 record.skipped_nodes = receipt.ap_stats.skipped_nodes
             records.append(record)
+            if heard:
+                self.c_heard.inc()
+            if ap_ready:
+                self.c_satisfied.inc()
             self.executed.add(tx.hash)
             if self.pool.pop(tx.hash, None) is not None:
                 self._pool_version += 1
             self.speculator.drop(tx.hash)
+        self.c_blocks.inc()
+        self.c_txs.inc(len(records))
+        self.c_cost.inc(sum(r.cost for r in records))
         state.commit()
         # The canonical head advanced: every cached predecessor prefix
         # was built on the previous head's state and is now stale.

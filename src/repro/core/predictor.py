@@ -26,6 +26,7 @@ from repro.chain.block import Block, BlockHeader
 from repro.chain.transaction import Transaction
 from repro.constants import DEFAULT_BLOCK_INTERVAL
 from repro.core.speculator import FutureContext
+from repro.obs.registry import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -96,14 +97,23 @@ class Prediction:
 class MultiFuturePredictor:
     """Builds (transaction, future contexts) pairs from the pool."""
 
-    def __init__(self, config: Optional[PredictorConfig] = None) -> None:
+    def __init__(self, config: Optional[PredictorConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.config = config or PredictorConfig()
         self.stats = HeaderStats()
         self._rng = random.Random(self.config.seed)
         self._next_context_id = 1
+        obs = (registry or get_registry()).scope("predictor")
+        self.c_cycles = obs.counter("cycles")
+        self.c_candidates = obs.counter("candidates")
+        self.c_contexts = obs.counter("contexts")
+        self.c_blocks_observed = obs.counter("blocks_observed")
+        self.h_contexts_per_tx = obs.histogram(
+            "contexts_per_tx", bounds=(0, 1, 2, 4, 8, 16, 32))
 
     def observe_block(self, block: Block) -> None:
         """Feed every received block to keep header statistics fresh."""
+        self.c_blocks_observed.inc()
         self.stats.observe(block)
 
     # -- next-block prediction ------------------------------------------------
@@ -233,4 +243,8 @@ class MultiFuturePredictor:
                      if t.nonce < tx.nonce]
             contexts[tx.hash] = self.contexts_for(
                 tx, groups[tx.to], sender_chain=chain)
+            self.c_contexts.inc(len(contexts[tx.hash]))
+            self.h_contexts_per_tx.observe(len(contexts[tx.hash]))
+        self.c_cycles.inc()
+        self.c_candidates.inc(len(candidates))
         return Prediction(candidates=candidates, contexts=contexts)

@@ -5,12 +5,17 @@ read sets and pre-creates warm cache entries, so that critical-path
 lookups hit caches instead of walking the trie from disk.  It also pays
 the cold-walk cost there and then — the off-path I/O is accounted into
 the speculator's overhead, not the critical path.
+
+Instrumented under the ``prefetcher.*`` obs scope; the legacy
+``offpath_cost`` / ``prefetched_keys`` attributes remain as read-only
+views over the registry counters.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.state.diskio import DiskModel
 from repro.state.nodecache import NodeCache
 from repro.state.statedb import StateDB
@@ -20,12 +25,25 @@ from repro.state.world import WorldState
 class Prefetcher:
     """Pre-populates a node cache from speculated read sets."""
 
-    def __init__(self, world: WorldState, node_cache: NodeCache) -> None:
+    def __init__(self, world: WorldState, node_cache: NodeCache,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.world = world
         self.node_cache = node_cache
+        obs = (registry or get_registry()).scope("prefetcher")
         #: Off-critical-path I/O cost paid by prefetching (cost units).
-        self.offpath_cost = 0
-        self.prefetched_keys = 0
+        self.c_offpath_cost = obs.counter("offpath_cost")
+        self.c_prefetched_keys = obs.counter("prefetched_keys")
+        self.c_calls = obs.counter("calls")
+
+    # -- legacy counter views (read-only ints) ---------------------------
+
+    @property
+    def offpath_cost(self) -> int:
+        return self.c_offpath_cost.value
+
+    @property
+    def prefetched_keys(self) -> int:
+        return self.c_prefetched_keys.value
 
     def prefetch(self, read_keys: Iterable[Tuple[str, tuple]],
                  tx_sender: Optional[int] = None,
@@ -60,6 +78,7 @@ class Prefetcher:
                     warmed += 1
                 state.warm_account(address)
             # header / blockhash reads need no state I/O
-        self.offpath_cost += disk.stats.cost_units
-        self.prefetched_keys += warmed
+        self.c_calls.inc()
+        self.c_offpath_cost.inc(disk.stats.cost_units)
+        self.c_prefetched_keys.inc(warmed)
         return warmed

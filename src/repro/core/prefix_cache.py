@@ -19,6 +19,12 @@ Keys embed the world's commit ``version``, so entries can never leak
 across heads; :meth:`invalidate` additionally drops everything eagerly
 on new canonical blocks and reorgs (``chainsync`` restores world
 contents in place, which a version check alone would miss).
+
+All counters are :class:`repro.obs.registry.Counter` instruments under
+the cache's scope (``prefix_cache.*``); the legacy attribute names
+(``hits``, ``pred_execs``, ...) remain available as read-only views so
+:func:`repro.core.stats.speculation_cache_report` and existing tests
+see identical values.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.chain.block import BlockHeader
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.state.statedb import StateDB
 
 
@@ -62,30 +69,76 @@ class PrefixEntry:
 class PrefixCache:
     """LRU cache of materialized predecessor prefixes."""
 
-    def __init__(self, capacity: int = 256, enabled: bool = True) -> None:
+    def __init__(self, capacity: int = 256, enabled: bool = True,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.capacity = capacity
         self.enabled = enabled
         self._entries: "OrderedDict[tuple, PrefixEntry]" = OrderedDict()
-        # -- counters (core.stats / CLI surface these) ---------------------
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        # -- instruments (core.stats / CLI surface these) ------------------
+        obs = (registry or get_registry()).scope("prefix_cache")
+        self.c_hits = obs.counter("hits")
+        self.c_misses = obs.counter("misses")
+        self.c_evictions = obs.counter("evictions")
+        self.c_invalidations = obs.counter("invalidations")
         #: Predecessor executions actually performed vs. served from
         #: cached prefixes (the throughput benchmark's headline metric).
-        self.pred_execs = 0
-        self.pred_execs_avoided = 0
+        self.c_pred_execs = obs.counter("pred_execs")
+        self.c_pred_execs_avoided = obs.counter("pred_execs_avoided")
         #: Same, in executed-instruction units.
-        self.pred_instructions = 0
-        self.pred_instructions_avoided = 0
+        self.c_pred_instructions = obs.counter("pred_instructions")
+        self.c_pred_instructions_avoided = \
+            obs.counter("pred_instructions_avoided")
         #: Redundant executions: re-materializations of a key already
         #: executed since the last invalidation.  Tracked whether the
         #: cache is enabled or not, so the disabled mode measures how
         #: much repeat work the seed speculator was doing (non-zero in
         #: enabled mode only when LRU eviction forces a re-execution).
-        self.redundant_execs = 0
-        self.redundant_instructions = 0
+        self.c_redundant_execs = obs.counter("redundant_execs")
+        self.c_redundant_instructions = obs.counter("redundant_instructions")
+        self._g_entries = obs.gauge("entries")
         self._seen: set = set()
+
+    # -- legacy counter views (read-only ints) ---------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.c_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self.c_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self.c_evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self.c_invalidations.value
+
+    @property
+    def pred_execs(self) -> int:
+        return self.c_pred_execs.value
+
+    @property
+    def pred_execs_avoided(self) -> int:
+        return self.c_pred_execs_avoided.value
+
+    @property
+    def pred_instructions(self) -> int:
+        return self.c_pred_instructions.value
+
+    @property
+    def pred_instructions_avoided(self) -> int:
+        return self.c_pred_instructions_avoided.value
+
+    @property
+    def redundant_execs(self) -> int:
+        return self.c_redundant_execs.value
+
+    @property
+    def redundant_instructions(self) -> int:
+        return self.c_redundant_instructions.value
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -106,7 +159,8 @@ class PrefixCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self.c_evictions.inc()
+        self._g_entries.set(len(self._entries))
 
     def note_execution(self, key: tuple, instructions: int) -> bool:
         """Record that ``key``'s prefix step was just executed; returns
@@ -114,8 +168,8 @@ class PrefixCache:
         same key was already executed since the last invalidation."""
         redundant = key in self._seen
         if redundant:
-            self.redundant_execs += 1
-            self.redundant_instructions += instructions
+            self.c_redundant_execs.inc()
+            self.c_redundant_instructions.inc(instructions)
         else:
             self._seen.add(key)
         return redundant
@@ -126,6 +180,7 @@ class PrefixCache:
         dropped = len(self._entries)
         self._entries.clear()
         self._seen.clear()
+        self._g_entries.set(0)
         if dropped:
-            self.invalidations += 1
+            self.c_invalidations.inc()
         return dropped

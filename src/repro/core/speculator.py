@@ -26,10 +26,25 @@ off.  Each :class:`SpeculationRecord` therefore carries two costs — the
 ``synthesis_cost`` actually paid (§5.6 accounting reflects the saving)
 and the ``logical_cost`` an uncached speculator would have paid, which
 the worker pool schedules by so AP readiness stays deterministic.
+
+Every stage is instrumented through :mod:`repro.obs`: counters live
+under the speculator's scope (``speculator.*``, ``merge.*``,
+``prefix_exec.*``) and each pre-execution emits a per-transaction span
+tree (``speculate`` → ``materialize_prefix`` / ``pre_execute`` /
+``fingerprint`` / ``synthesize`` / ``merge``), all denominated in
+logical cost units so traces are deterministic.
+
+The synthesis-dedup index stores *detached* copies of merged paths
+(fresh stats / read-set / write-set containers): later mutation of a
+merged path — :func:`prune_tree` rewriting the AP, stats aggregation,
+ablation experiments — can never leak into a future dedup clone.  The
+index is bounded per transaction (LRU) and cleared on drop/discard and
+on reorgs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -38,12 +53,15 @@ from repro.chain.transaction import Transaction
 from repro.core import costmodel
 from repro.core.ap import AcceleratedProgram, APPath
 from repro.core.memoize import build_shortcuts
-from repro.core.merge import merge_path, prune_tree
+from repro.core.merge import MergeMetrics, merge_path, prune_tree
 from repro.core.optimize import optimize_path
 from repro.core.prefix_cache import PrefixCache, PrefixEntry, context_key
 from repro.core.trace import TraceResult, trace_fingerprint, trace_transaction
 from repro.core.translate import translate_trace
 from repro.errors import SpeculationError
+from repro.evm.interpreter import EvmMetrics
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import NullTracer
 from repro.state.statedb import StateDB
 from repro.state.world import WorldState
 
@@ -144,6 +162,23 @@ class FutureContext:
                 f"coinbase={self.header.coinbase:#x} pre=[{pre}])")
 
 
+def _detach_path(path: APPath) -> APPath:
+    """A copy of ``path`` sharing only immutable payload.
+
+    The instruction lists and return layout are treated as frozen by
+    every consumer; the stats object and the read/write/concrete maps
+    are mutable and get fresh containers, so mutating one copy (e.g. a
+    merged path's stats during aggregation) never aliases the other.
+    """
+    return replace(
+        path,
+        stats=replace(path.stats),
+        concrete=dict(path.concrete),
+        read_set=dict(path.read_set),
+        write_set=dict(path.write_set),
+    )
+
+
 class Speculator:
     """Synthesizes and maintains APs for pending transactions."""
 
@@ -154,32 +189,74 @@ class Speculator:
                  memoization_strategy: str = "default",
                  enable_prefix_cache: bool = True,
                  enable_synth_dedup: bool = True,
-                 prefix_cache_capacity: int = 1024) -> None:
+                 prefix_cache_capacity: int = 1024,
+                 dedup_capacity_per_tx: int = 16,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=None) -> None:
         self.world = world
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
         self.pass_config = pass_config
         self.enable_memoization = enable_memoization
         self.memoization_strategy = memoization_strategy
         self.enable_synth_dedup = enable_synth_dedup
+        registry = registry or get_registry()
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.prefix_cache = PrefixCache(
-            capacity=prefix_cache_capacity, enabled=enable_prefix_cache)
+            capacity=prefix_cache_capacity, enabled=enable_prefix_cache,
+            registry=registry)
         self.aps: Dict[int, AcceleratedProgram] = {}
         self.records: List[SpeculationRecord] = []
         #: Synthesis stats of executed-and-dropped APs (§5.5).
         self.archive: List[ApArchive] = []
+        # -- instruments -------------------------------------------------
+        obs = registry.scope("speculator")
+        self._obs = obs
+        self.c_speculations = obs.counter("speculations")
+        self.c_merged = obs.counter("merged")
+        self.c_errors = obs.counter("errors")
         #: Total off-critical-path work performed, in cost units (§5.6),
         #: net of prefix-cache and dedup savings.
-        self.total_speculation_cost = 0
+        self.c_actual_cost = obs.counter("actual_cost")
         #: Total work an uncached speculator would have performed; the
         #: node's worker pool schedules by this so AP readiness (and
         #: with it Table 2/3) is independent of the caching layers.
-        self.total_logical_cost = 0
-        #: Synthesis-dedup counters and per-tx fingerprint index.
-        self.dedup_hits = 0
-        self.dedup_misses = 0
-        self.dedup_cost_saved = 0
-        self._dedup: Dict[int, Dict[str, APPath]] = {}
+        self.c_logical_cost = obs.counter("logical_cost")
+        #: Synthesis-dedup counters.
+        self.c_dedup_hits = obs.counter("dedup_hits")
+        self.c_dedup_misses = obs.counter("dedup_misses")
+        self.c_dedup_cost_saved = obs.counter("dedup_cost_saved")
+        self.c_dedup_evictions = obs.counter("dedup_evictions")
+        self.h_trace_len = obs.histogram("trace_len")
+        self._merge_metrics = MergeMetrics(registry.scope("merge"))
+        self._prefix_evm = EvmMetrics(registry.scope("prefix_exec"))
+        #: Per-tx fingerprint index: tx -> (fingerprint -> detached
+        #: APPath), LRU-bounded per transaction, cleared on
+        #: drop/discard/reorg.
+        self._dedup: Dict[int, "OrderedDict[str, APPath]"] = {}
+        self.dedup_capacity_per_tx = dedup_capacity_per_tx
         self._next_path_id = 0
+
+    # -- legacy counter views (read-only ints) ----------------------------
+
+    @property
+    def total_speculation_cost(self) -> int:
+        return self.c_actual_cost.value
+
+    @property
+    def total_logical_cost(self) -> int:
+        return self.c_logical_cost.value
+
+    @property
+    def dedup_hits(self) -> int:
+        return self.c_dedup_hits.value
+
+    @property
+    def dedup_misses(self) -> int:
+        return self.c_dedup_misses.value
+
+    @property
+    def dedup_cost_saved(self) -> int:
+        return self.c_dedup_cost_saved.value
 
     # -- public API ----------------------------------------------------------
 
@@ -199,9 +276,30 @@ class Speculator:
                 shortcut_count=ap.shortcut_count,
             ))
 
+    def discard(self, tx_hash: int) -> None:
+        """Forget a transaction's AP *and* its dedup fingerprints
+        without archiving (mid-reorg abandonment: the AP may refer to a
+        head that no longer exists, so its stats must not pollute §5.5
+        aggregates and its paths must never be cloned again)."""
+        self._dedup.pop(tx_hash, None)
+        self.aps.pop(tx_hash, None)
+
     def invalidate_prefixes(self, reason: str = "") -> int:
         """Drop every cached prefix (new canonical head or reorg)."""
         return self.prefix_cache.invalidate(reason)
+
+    def on_reorg(self) -> int:
+        """Reorg handling: the world's contents were restored in place,
+        so both redundancy-elimination indexes are stale — cached
+        prefixes reference dead state forks and cached dedup paths were
+        synthesized against contexts of the abandoned branch.  Drops
+        both; returns the number of prefix entries dropped."""
+        self._dedup.clear()
+        return self.invalidate_prefixes("reorg")
+
+    def dedup_index_size(self) -> int:
+        """Total fingerprints currently held across all transactions."""
+        return sum(len(entry) for entry in self._dedup.values())
 
     # -- context materialization --------------------------------------------
 
@@ -236,22 +334,23 @@ class Speculator:
                     entry, start = found, length
                     break
             if start:
-                cache.hits += 1
+                cache.c_hits.inc()
             else:
-                cache.misses += 1
+                cache.c_misses.inc()
         if entry is not None:
             outcome.instructions_full = entry.instructions
             outcome.io_full = entry.io_units
             outcome.cached = start
-            cache.pred_execs_avoided += start
-            cache.pred_instructions_avoided += entry.instructions
+            cache.c_pred_execs_avoided.inc(start)
+            cache.c_pred_instructions_avoided.inc(entry.instructions)
 
         parent: Optional[StateDB] = entry.state if entry is not None else None
         for index in range(start, len(predecessors)):
             child = parent.fork() if parent is not None \
                 else StateDB(self.world)
             evm = EVM(child, header, predecessors[index],
-                      blockhash_fn=self.blockhash_fn)
+                      blockhash_fn=self.blockhash_fn,
+                      obs=self._prefix_evm)
             evm.execute_transaction()
             io_units = child.disk.stats.cost_units
             outcome.instructions_full += evm.instruction_count
@@ -259,8 +358,8 @@ class Speculator:
             outcome.paid += (evm.instruction_count * costmodel.EVM_STEP
                              + io_units)
             outcome.executed += 1
-            cache.pred_execs += 1
-            cache.pred_instructions += evm.instruction_count
+            cache.c_pred_execs.inc()
+            cache.c_pred_instructions.inc(evm.instruction_count)
             key = context_key(version, header, hashes[:index + 1])
             cache.note_execution(key, evm.instruction_count)
             cache.store(
@@ -269,6 +368,31 @@ class Speculator:
                             outcome.io_full))
             parent = child
         return parent.fork(), outcome
+
+    # -- dedup index -----------------------------------------------------
+
+    def _dedup_lookup(self, tx_hash: int,
+                      fingerprint: str) -> Optional[APPath]:
+        index = self._dedup.get(tx_hash)
+        if index is None:
+            return None
+        path = index.get(fingerprint)
+        if path is not None:
+            index.move_to_end(fingerprint)
+        return path
+
+    def _dedup_store(self, tx_hash: int, fingerprint: str,
+                     path: APPath) -> None:
+        index = self._dedup.get(tx_hash)
+        if index is None:
+            index = self._dedup[tx_hash] = OrderedDict()
+        # Detach: the merged path's mutable parts (stats, sets) keep
+        # evolving with the AP; the archived copy must not alias them.
+        index[fingerprint] = _detach_path(path)
+        index.move_to_end(fingerprint)
+        while len(index) > self.dedup_capacity_per_tx:
+            index.popitem(last=False)
+            self.c_dedup_evictions.inc()
 
     # -- speculation ---------------------------------------------------------
 
@@ -279,20 +403,36 @@ class Speculator:
         Returns the APPath (None if synthesis failed).  The speculative
         overlay state is built on the committed world and discarded.
         """
+        with self.tracer.span("speculate", tx=tx.hash,
+                              context=context.context_id) as root_span:
+            return self._speculate(tx, context, root_span)
+
+    def _speculate(self, tx: Transaction, context: FutureContext,
+                   root_span) -> Optional[APPath]:
+        self.c_speculations.inc()
         if tx.to == 0:
             # Contract deployments run init code and install new
             # accounts — outside the specialized subset; they execute
             # through the normal path (and are rare on the wire).
+            self.c_errors.inc()
+            root_span.set(outcome="unsupported")
             self.records.append(SpeculationRecord(
                 tx_hash=tx.hash, context_id=context.context_id,
                 trace_length=0, synthesis_cost=0, merged=False,
                 error="deployment transactions are not specialized"))
             return None
-        state, prefix = self._materialize_context(context)
+        with self.tracer.span("materialize_prefix",
+                              preds=len(context.predecessors)) as sp:
+            state, prefix = self._materialize_context(context)
+            sp.add_cost(prefix.paid)
+            sp.set(executed=prefix.executed, cached=prefix.cached)
 
-        trace = trace_transaction(state, context.header, tx,
-                                  blockhash_fn=self.blockhash_fn)
-        trace.context_id = context.context_id
+        with self.tracer.span("pre_execute") as sp:
+            trace = trace_transaction(state, context.header, tx,
+                                      blockhash_fn=self.blockhash_fn)
+            trace.context_id = context.context_id
+            sp.add_cost(len(trace.steps) * costmodel.EVM_STEP
+                        + state.disk.stats.cost_units)
         if trace.result.error:
             # Envelope-level failure (bad nonce / unaffordable gas) in
             # this speculated context: no bytecode ran, so there is
@@ -300,7 +440,10 @@ class Speculator:
             # envelope cannot be guarded by an AP.  Skip this future.
             # Only the predecessor work actually performed is charged;
             # the logical (scheduling) cost stays zero as before.
-            self.total_speculation_cost += prefix.paid
+            self.c_actual_cost.inc(prefix.paid)
+            self.c_errors.inc()
+            root_span.set(outcome="envelope")
+            root_span.add_cost(prefix.paid)
             self.records.append(SpeculationRecord(
                 tx_hash=tx.hash, context_id=context.context_id,
                 trace_length=0, synthesis_cost=prefix.paid,
@@ -308,23 +451,27 @@ class Speculator:
                 preds_executed=prefix.executed,
                 preds_cached=prefix.cached))
             return None
+        self.h_trace_len.observe(len(trace.steps))
         target_cost = (len(trace.steps) * costmodel.EVM_STEP
                        + state.disk.stats.cost_units)
         logical_cost = int(
             (target_cost + prefix.io_full)
             * costmodel.SPECULATION_COST_FACTOR
         ) + prefix.instructions_full * costmodel.EVM_STEP
-        self.total_logical_cost += logical_cost
+        self.c_logical_cost.inc(logical_cost)
 
         fingerprint: Optional[str] = None
         fingerprint_cost = 0
         cached_path: Optional[APPath] = None
         if self.enable_synth_dedup:
-            fingerprint = trace_fingerprint(trace)
-            fingerprint_cost = len(trace.steps) * costmodel.FINGERPRINT_STEP
-            cached_path = self._dedup.get(tx.hash, {}).get(fingerprint)
+            with self.tracer.span("fingerprint") as sp:
+                fingerprint = trace_fingerprint(trace)
+                fingerprint_cost = \
+                    len(trace.steps) * costmodel.FINGERPRINT_STEP
+                sp.add_cost(fingerprint_cost)
+            cached_path = self._dedup_lookup(tx.hash, fingerprint)
             if cached_path is None:
-                self.dedup_misses += 1
+                self.c_dedup_misses.inc()
 
         path_id = self._next_path_id
         self._next_path_id += 1
@@ -335,24 +482,36 @@ class Speculator:
             # translate/optimize.  Paying target_cost models the
             # pre-execution that produced the trace; the ~11x synthesis
             # surcharge is what dedup eliminates.
-            self.dedup_hits += 1
+            self.c_dedup_hits.inc()
             full_synthesis = int(
                 target_cost * costmodel.SPECULATION_COST_FACTOR)
             actual_cost = prefix.paid + target_cost + fingerprint_cost
-            self.dedup_cost_saved += full_synthesis - target_cost \
-                - fingerprint_cost
-            path = replace(cached_path, path_id=path_id,
+            self.c_dedup_cost_saved.inc(
+                full_synthesis - target_cost - fingerprint_cost)
+            # Detach again: two clones of the same archived path must
+            # not share mutable containers with each other either.
+            path = replace(_detach_path(cached_path), path_id=path_id,
                            context_id=context.context_id)
         else:
             actual_cost = prefix.paid + int(
                 target_cost * costmodel.SPECULATION_COST_FACTOR
             ) + fingerprint_cost
             try:
-                path = synthesize_path(trace, path_id=path_id,
-                                       context_id=context.context_id,
-                                       pass_config=self.pass_config)
+                # The synthesize span carries only the translate/optimize
+                # surcharge; pre-execution and fingerprinting are charged
+                # on their own spans, so sibling stages partition the
+                # actual cost without double counting.
+                with self.tracer.span("synthesize") as sp:
+                    path = synthesize_path(trace, path_id=path_id,
+                                           context_id=context.context_id,
+                                           pass_config=self.pass_config)
+                    sp.add_cost(actual_cost - prefix.paid - target_cost
+                                - fingerprint_cost)
             except SpeculationError as exc:
-                self.total_speculation_cost += actual_cost
+                self.c_actual_cost.inc(actual_cost)
+                self.c_errors.inc()
+                root_span.set(outcome="synthesis-error")
+                root_span.add_cost(actual_cost)
                 self.records.append(SpeculationRecord(
                     tx_hash=tx.hash, context_id=context.context_id,
                     trace_length=len(trace.steps),
@@ -362,19 +521,29 @@ class Speculator:
                     preds_executed=prefix.executed,
                     preds_cached=prefix.cached))
                 return None
-            if fingerprint is not None:
-                self._dedup.setdefault(tx.hash, {})[fingerprint] = path
-        self.total_speculation_cost += actual_cost
+        self.c_actual_cost.inc(actual_cost)
 
         ap = self.aps.get(tx.hash)
         if ap is None:
             ap = AcceleratedProgram(tx.hash)
             self.aps[tx.hash] = ap
-        merged = merge_path(ap, path)
+        with self.tracer.span("merge") as sp:
+            merged = merge_path(ap, path, self._merge_metrics)
+            if merged:
+                prune_tree(ap, self._merge_metrics)
+                if self.enable_memoization:
+                    build_shortcuts(ap, self.memoization_strategy)
+            sp.set(merged=merged)
         if merged:
-            prune_tree(ap)
-            if self.enable_memoization:
-                build_shortcuts(ap, self.memoization_strategy)
+            self.c_merged.inc()
+            # Index only merged paths: a path whose merge failed is not
+            # part of any AP, so cloning it later would resurrect a
+            # rejected structure.
+            if fingerprint is not None and cached_path is None:
+                self._dedup_store(tx.hash, fingerprint, path)
+        root_span.set(outcome="merged" if merged else "merge-failed",
+                      deduped=cached_path is not None)
+        root_span.add_cost(actual_cost)
         self.records.append(SpeculationRecord(
             tx_hash=tx.hash, context_id=context.context_id,
             trace_length=len(trace.steps), synthesis_cost=actual_cost,

@@ -213,6 +213,28 @@ def _decode_program(code: bytes):
     return program
 
 
+class EvmMetrics:
+    """Optional instrument bundle for interpreter executions.
+
+    Allocated by a caller (e.g. the speculator's predecessor runs) from
+    an obs scope; one bundle aggregates over many EVM instances.  The
+    interpreter reports into it once per transaction, so the hot
+    dispatch loop stays uninstrumented.
+    """
+
+    __slots__ = ("transactions", "instructions", "write_ops")
+
+    def __init__(self, scope) -> None:
+        self.transactions = scope.counter("transactions")
+        self.instructions = scope.counter("instructions")
+        self.write_ops = scope.counter("write_ops")
+
+    def record(self, evm: "EVM") -> None:
+        self.transactions.inc()
+        self.instructions.inc(evm.instruction_count)
+        self.write_ops.inc(evm.write_op_count)
+
+
 class EVM:
     """Executes messages against a StateDB in a block context.
 
@@ -227,12 +249,14 @@ class EVM:
         tx: Transaction,
         tracer: Optional[Tracer] = None,
         blockhash_fn: Optional[Callable[[int], int]] = None,
+        obs: Optional[EvmMetrics] = None,
     ) -> None:
         self.state = state
         self.header = header
         self.tx = tx
         self.tracer = tracer or Tracer()
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
+        self.obs = obs
         self._step_index = 0
         self._next_frame_id = 0
         #: Count of executed instructions (cost-model input).
@@ -245,6 +269,12 @@ class EVM:
 
     def execute_transaction(self) -> ExecutionResult:
         """Run the full transaction protocol: fee purchase, call, refund."""
+        result = self._execute_transaction()
+        if self.obs is not None:
+            self.obs.record(self)
+        return result
+
+    def _execute_transaction(self) -> ExecutionResult:
         tx = self.tx
         intrinsic = tx.intrinsic_gas()
         if tx.gas_limit < intrinsic:

@@ -1,0 +1,56 @@
+"""Deterministic observability layer (counters, spans, JSONL traces).
+
+The evaluation of the paper (§5) is an accounting exercise over
+pipeline stages — predict, pre-execute, synthesize, merge, accelerate.
+This package gives every stage a first-class, *deterministic* metrics
+and tracing surface:
+
+* :mod:`repro.obs.registry` — counters, gauges, and histograms
+  registered in a :class:`MetricsRegistry`; a process-wide default
+  registry backs components that are not wired to a per-run one;
+* :mod:`repro.obs.spans` — cost-unit-denominated spans that nest into
+  a per-transaction stage tree (``span("synthesize", cost=...)``);
+* :mod:`repro.obs.export` — a canonical JSONL exporter, so benchmark
+  runs emit machine-readable traces that are byte-identical across
+  reruns of the same workload.
+
+All timing is in logical cost units.  Wall-clock measurements are
+quarantined into instruments flagged ``nondeterministic`` which are
+excluded from snapshots and trace files by default — two runs of the
+same workload therefore produce identical trace files, making the
+traces themselves diffable regression artifacts.
+"""
+
+from repro.obs.export import (
+    canonical_json,
+    export_jsonl,
+    trace_lines,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Scope,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.spans import NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Scope",
+    "Span",
+    "SpanTracer",
+    "canonical_json",
+    "export_jsonl",
+    "get_registry",
+    "reset_registry",
+    "set_registry",
+    "trace_lines",
+]

@@ -1,0 +1,92 @@
+"""Canonical JSONL trace exporter.
+
+One trace file = one line of canonical JSON per record:
+
+* a ``meta`` header line (schema version, free-form labels);
+* one ``span`` line per finished span, in completion order;
+* one ``metrics`` footer line holding the registry snapshot.
+
+Canonical means: sorted keys, compact separators, ``ensure_ascii`` (so
+every non-ASCII code point is escaped and the file is bytewise stable
+across locales), and no floats introduced by the encoder.  Combined
+with cost-unit-only span timing, two runs of the same workload produce
+byte-identical trace files — the trace itself is a diffable regression
+artifact (compare with ``diff run1.jsonl run2.jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+
+SCHEMA_VERSION = 1
+
+
+def _coerce(value):
+    """Fallback encoder for non-JSON-native attribute values."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    return repr(value)
+
+
+def canonical_json(obj) -> str:
+    """Encode ``obj`` as one line of canonical JSON.
+
+    Sorted keys + compact separators + ASCII-only output: the same
+    logical record always encodes to the same bytes, and embedded
+    newlines / quotes / control characters are escaped so every record
+    stays on a single line.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True, default=_coerce)
+
+
+def trace_lines(tracer=None,
+                registry: Optional[MetricsRegistry] = None,
+                meta: Optional[dict] = None) -> List[str]:
+    """Render a full trace as a list of canonical JSONL lines."""
+    lines: List[str] = []
+    header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    lines.append(canonical_json(header))
+    if tracer is not None:
+        for event in tracer.events:
+            record = {"type": "span"}
+            record.update(event)
+            lines.append(canonical_json(record))
+    if registry is not None:
+        lines.append(canonical_json(
+            {"type": "metrics", "metrics": registry.snapshot()}))
+    return lines
+
+
+def export_jsonl(target: Union[str, IO[str]],
+                 tracer=None,
+                 registry: Optional[MetricsRegistry] = None,
+                 meta: Optional[dict] = None) -> int:
+    """Write a trace to ``target`` (path or text file object).
+
+    Returns the number of lines written.  Nondeterministic instruments
+    (wall-clock gauges) are never exported — see
+    :meth:`MetricsRegistry.snapshot`.
+    """
+    lines = trace_lines(tracer, registry, meta)
+    if isinstance(target, str):
+        with open(target, "w", encoding="ascii", newline="\n") as handle:
+            _write(handle, lines)
+    else:
+        _write(target, lines)
+    return len(lines)
+
+
+def _write(handle: IO[str], lines: Iterable[str]) -> None:
+    for line in lines:
+        handle.write(line)
+        handle.write("\n")

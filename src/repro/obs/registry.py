@@ -1,0 +1,243 @@
+"""Metrics instruments and the registry that names them.
+
+Three instrument kinds, mirroring the usual time-series vocabulary but
+denominated in the reproduction's deterministic currencies (cost units,
+instruction counts, plain event counts):
+
+* :class:`Counter` — monotonically increasing integer;
+* :class:`Gauge` — last-written value (the only instrument allowed to
+  carry wall-clock readings, and then only when flagged
+  ``nondeterministic``);
+* :class:`Histogram` — fixed-bound bucket counts plus sum/count.
+
+A :class:`MetricsRegistry` owns instruments by name.  Components that
+may be instantiated several times in one process allocate their
+instruments through :meth:`MetricsRegistry.scope`, which uniquifies the
+prefix (``speculator``, ``speculator#2``, ...) — instance creation
+order is deterministic in a replay, so snapshots are reproducible.
+
+:func:`get_registry` returns the process-wide default registry used by
+components not explicitly wired to a per-run one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (cost units / counts).  Wide
+#: log-ish spacing: the pipeline's quantities span transfer-sized
+#: executions (~10^3) to whole-block costs (~10^8).
+DEFAULT_BUCKETS: Tuple[int, ...] = (
+    0, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+    100_000_000)
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value.
+
+    ``nondeterministic`` marks instruments carrying wall-clock (or other
+    run-varying) readings; they are excluded from deterministic
+    snapshots and trace exports.
+    """
+
+    __slots__ = ("name", "value", "nondeterministic")
+
+    def __init__(self, name: str, nondeterministic: bool = False) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.nondeterministic = nondeterministic
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, amount: Number) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound histogram (cumulative-free, per-bucket counts)."""
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[Number] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name}: bounds must be sorted")
+        #: counts[i] = observations <= bounds[i]; last slot = overflow.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum: Number = 0
+        self.count = 0
+
+    def observe(self, value: Number) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class Scope:
+    """Instrument factory under a (uniquified) name prefix."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(f"{self.prefix}.{name}")
+
+    def gauge(self, name: str, nondeterministic: bool = False) -> Gauge:
+        return self.registry.gauge(f"{self.prefix}.{name}",
+                                   nondeterministic=nondeterministic)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        return self.registry.histogram(f"{self.prefix}.{name}", bounds)
+
+
+class MetricsRegistry:
+    """Names and owns every instrument of one run (or of the process)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        self._scope_counts: Dict[str, int] = {}
+
+    # -- instrument allocation (get-or-create) ---------------------------
+
+    def _get_or_create(self, name: str, kind, factory):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"instrument {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, nondeterministic: bool = False) -> Gauge:
+        return self._get_or_create(
+            name, Gauge, lambda: Gauge(name, nondeterministic))
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, bounds))
+
+    def scope(self, prefix: str) -> Scope:
+        """A uniquified instrument prefix for one component instance.
+
+        The first instance of a prefix gets the bare name; later ones
+        get ``prefix#2``, ``prefix#3``, ...  Creation order is
+        deterministic within a replay, so names are stable.
+        """
+        index = self._scope_counts.get(prefix, 0) + 1
+        self._scope_counts[prefix] = index
+        unique = prefix if index == 1 else f"{prefix}#{index}"
+        return Scope(self, unique)
+
+    # -- read side -------------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        return getattr(instrument, "value", default)
+
+    def snapshot(self, include_nondeterministic: bool = False) -> dict:
+        """All instrument states, sorted by name (deterministic).
+
+        Gauges flagged ``nondeterministic`` (wall-clock quarantine) are
+        excluded unless explicitly requested.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if (not include_nondeterministic
+                    and getattr(instrument, "nondeterministic", False)):
+                continue
+            out[name] = instrument.snapshot()
+        return out
+
+    def render(self, include_nondeterministic: bool = False) -> str:
+        """Human-readable one-instrument-per-line dump."""
+        lines = []
+        snap = self.snapshot(include_nondeterministic)
+        for name, state in snap.items():
+            if state["type"] == "histogram":
+                lines.append(
+                    f"{name}: count={state['count']} sum={state['sum']}")
+            else:
+                lines.append(f"{name}: {state['value']}")
+        return "\n".join(lines)
+
+
+#: Process-wide default registry (components not wired to a per-run
+#: registry fall back to this one).
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default registry; returns the old one."""
+    global _default_registry
+    old = _default_registry
+    _default_registry = registry
+    return old
+
+
+def reset_registry() -> MetricsRegistry:
+    """Replace the process-wide default with a fresh registry."""
+    return set_registry(MetricsRegistry())

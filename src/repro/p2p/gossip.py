@@ -9,6 +9,16 @@ The model assigns every broadcast message an independent arrival delay
 per participant.  Transactions flagged ``origin_miner`` are *private*:
 they reach only their miner (e.g. mining-pool-direct submissions) and
 are never heard by observers before inclusion.
+
+Arrival draws are **order-independent**: each (transaction,
+participant) pair seeds its own RNG from
+``hash(seed, tx.hash, participant)``, so adding an observer, reordering
+registration, or a private transaction (which consumes no draws) never
+perturbs any other participant's arrival time.  The seed repo drew all
+delays from one shared RNG stream in registration order, which made
+every arrival time depend on the whole preceding dissemination history;
+that legacy behaviour is preserved behind ``legacy_rng=True`` for
+comparing against old recordings.
 """
 
 from __future__ import annotations
@@ -18,7 +28,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.chain.transaction import Transaction
+from repro.obs.registry import get_registry
 from repro.p2p.latency import LatencyModel
+from repro.utils.hashing import hash_words, keccak_int
+
+
+def _participant_id(participant) -> int:
+    """Stable integer id of a participant (miner int or observer name)."""
+    if isinstance(participant, int):
+        return participant
+    return keccak_int(str(participant).encode("utf-8"))
 
 
 @dataclass
@@ -31,21 +50,35 @@ class GossipNetwork:
     #: the paper's L1 vs R1 heard-rate difference, §5.1).
     observer_latencies: Dict[str, LatencyModel] = field(default_factory=dict)
     seed: int = 7
+    #: Draw delays from one shared RNG stream in registration order
+    #: (the seed repo's behaviour): arrival times then depend on
+    #: observer registration and on every earlier dissemination.
+    legacy_rng: bool = False
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
+        obs = get_registry().scope("gossip")
+        self.c_disseminated = obs.counter("disseminated")
+        self.c_private = obs.counter("private")
 
     def add_observer(self, name: str,
                      latency: Optional[LatencyModel] = None) -> None:
         self.observer_latencies[name] = latency or self.latency
 
+    def _draw_rng(self, tx: Transaction, participant) -> random.Random:
+        """Private RNG for one (tx, participant) delay draw."""
+        return random.Random(hash_words(
+            (self.seed, tx.hash, _participant_id(participant))))
+
     def disseminate(self, tx: Transaction, born: float
                     ) -> "Dissemination":
         """Sample when each participant hears ``tx``."""
+        self.c_disseminated.inc()
         miner_arrivals: Dict[int, float] = {}
         observer_arrivals: Dict[str, float] = {}
         if tx.origin_miner is not None:
             # Private transaction: direct to one miner only.
+            self.c_private.inc()
             miner_arrivals[tx.origin_miner] = born
             for name in self.observer_latencies:
                 observer_arrivals[name] = float("inf")
@@ -53,10 +86,18 @@ class GossipNetwork:
                 if miner != tx.origin_miner:
                     miner_arrivals[miner] = float("inf")
             return Dissemination(tx, born, miner_arrivals, observer_arrivals)
+        if self.legacy_rng:
+            for miner in self.miner_ids:
+                miner_arrivals[miner] = born + self.latency.sample(self._rng)
+            for name, model in self.observer_latencies.items():
+                observer_arrivals[name] = born + model.sample(self._rng)
+            return Dissemination(tx, born, miner_arrivals, observer_arrivals)
         for miner in self.miner_ids:
-            miner_arrivals[miner] = born + self.latency.sample(self._rng)
+            miner_arrivals[miner] = born + self.latency.sample(
+                self._draw_rng(tx, miner))
         for name, model in self.observer_latencies.items():
-            observer_arrivals[name] = born + model.sample(self._rng)
+            observer_arrivals[name] = born + model.sample(
+                self._draw_rng(tx, name))
         return Dissemination(tx, born, miner_arrivals, observer_arrivals)
 
 

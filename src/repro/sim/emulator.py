@@ -10,6 +10,14 @@ One replay drives a :class:`BaselineNode` and a :class:`ForerunnerNode`
 over the identical stream; per-transaction records are joined by hash
 into :class:`EvaluationRun`, from which every evaluation table/figure
 is computed (:mod:`repro.bench`).
+
+Every replay gets its own :class:`~repro.obs.registry.MetricsRegistry`
+and span tracer, so instrument names are stable run-to-run and two
+replays of the same dataset produce byte-identical deterministic
+snapshots and trace files.  Wall-clock readings (the only
+machine-dependent quantity) are quarantined into gauges flagged
+``nondeterministic`` — excluded from snapshots and exports by default —
+and surface only through the ``wall_seconds_*`` convenience properties.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from repro.core.node import (
     TxRecord,
 )
 from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import NullTracer, SpanTracer
 from repro.sim.recorder import Dataset
 
 
@@ -73,9 +83,27 @@ class EvaluationRun:
     speculation_jobs: int = 0
     total_speculation_cost: int = 0
     prefetch_offpath_cost: int = 0
-    wall_seconds_baseline: float = 0.0
-    wall_seconds_forerunner: float = 0.0
     forerunner_node: Optional[ForerunnerNode] = None
+    #: Per-replay metrics registry (fresh per run: names are stable).
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Per-replay span tracer (``NullTracer`` when obs is disabled).
+    tracer: object = None
+
+    # Wall clock is quarantined in nondeterministic gauges: it never
+    # reaches deterministic snapshots, traces, or report tables.
+    @property
+    def wall_seconds_baseline(self) -> float:
+        return float(self.registry.gauge(
+            "wall.baseline_seconds", nondeterministic=True).value)
+
+    @property
+    def wall_seconds_forerunner(self) -> float:
+        return float(self.registry.gauge(
+            "wall.forerunner_seconds", nondeterministic=True).value)
+
+    def metrics(self, include_nondeterministic: bool = False) -> dict:
+        """Deterministic metrics snapshot of this replay."""
+        return self.registry.snapshot(include_nondeterministic)
 
     def heard_fraction(self) -> float:
         if not self.records:
@@ -99,9 +127,18 @@ def replay(dataset: Dataset, observer: str = "live",
             f"dataset {dataset.name!r} has no observer {observer!r} "
             f"(has {sorted(dataset.tx_arrivals)})")
 
-    baseline = BaselineNode(dataset.genesis_world.copy())
-    forerunner = ForerunnerNode(dataset.genesis_world.copy(), config)
+    config = config or ForerunnerConfig()
+    registry = MetricsRegistry()
+    tracer = SpanTracer(registry) if config.enable_obs else NullTracer()
+    baseline = BaselineNode(dataset.genesis_world.copy(),
+                            registry=registry)
+    forerunner = ForerunnerNode(dataset.genesis_world.copy(), config,
+                                registry=registry, tracer=tracer)
     forerunner.predictor.observe_block(dataset.genesis_block)
+    g_wall_base = registry.gauge("wall.baseline_seconds",
+                                 nondeterministic=True)
+    g_wall_fore = registry.gauge("wall.forerunner_seconds",
+                                 nondeterministic=True)
 
     # Merged timeline: transactions, speculation ticks, blocks.
     # Priority tuple: (time, priority) so tx arrivals at the same time
@@ -122,7 +159,8 @@ def replay(dataset: Dataset, observer: str = "live",
         counter += 1
     heapq.heapify(events)
 
-    run = EvaluationRun(dataset_name=dataset.name, observer=observer)
+    run = EvaluationRun(dataset_name=dataset.name, observer=observer,
+                        registry=registry, tracer=tracer)
     kinds = dataset.kinds
     baseline_records: Dict[int, TxRecord] = {}
 
@@ -139,10 +177,12 @@ def replay(dataset: Dataset, observer: str = "live",
             started = _time.perf_counter()
             base_report: BlockReport = baseline.process_block(payload)
             mid = _time.perf_counter()
-            fore_report = forerunner.process_block(payload, now)
+            with tracer.span("block", number=payload.number) as span:
+                fore_report = forerunner.process_block(payload, now)
+                span.add_cost(sum(r.cost for r in fore_report.records))
             ended = _time.perf_counter()
-            run.wall_seconds_baseline += mid - started
-            run.wall_seconds_forerunner += ended - mid
+            g_wall_base.add(mid - started)
+            g_wall_fore.add(ended - mid)
             run.blocks_executed += 1
             if base_report.state_root == fore_report.state_root:
                 run.roots_matched += 1

@@ -11,15 +11,28 @@ import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.transaction import Transaction
+from repro.obs.registry import MetricsRegistry, get_registry
 
 
 class TxPool:
-    """Pending pool: hash-indexed with per-sender nonce queues."""
+    """Pending pool: hash-indexed with per-sender nonce queues.
 
-    def __init__(self) -> None:
+    Instrumented under the ``txpool.*`` obs scope: arrivals,
+    replacements, rejected (lower-priced duplicate) and removed
+    transactions, plus a size gauge.
+    """
+
+    def __init__(self,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self._by_hash: Dict[int, Transaction] = {}
         self._by_sender: Dict[int, Dict[int, Transaction]] = {}
         self.arrival_times: Dict[int, float] = {}
+        obs = (registry or get_registry()).scope("txpool")
+        self.c_added = obs.counter("added")
+        self.c_replaced = obs.counter("replaced")
+        self.c_rejected = obs.counter("rejected")
+        self.c_removed = obs.counter("removed")
+        self._g_size = obs.gauge("size")
 
     def __len__(self) -> int:
         return len(self._by_hash)
@@ -35,12 +48,16 @@ class TxPool:
         existing = sender_queue.get(tx.nonce)
         if existing is not None:
             if tx.gas_price <= existing.gas_price:
+                self.c_rejected.inc()
                 return False
             self._by_hash.pop(existing.hash, None)
             self.arrival_times.pop(existing.hash, None)
+            self.c_replaced.inc()
         sender_queue[tx.nonce] = tx
         self._by_hash[tx.hash] = tx
         self.arrival_times[tx.hash] = now
+        self.c_added.inc()
+        self._g_size.set(len(self._by_hash))
         return True
 
     def remove(self, tx_hash: int) -> Optional[Transaction]:
@@ -48,6 +65,8 @@ class TxPool:
         tx = self._by_hash.pop(tx_hash, None)
         if tx is None:
             return None
+        self.c_removed.inc()
+        self._g_size.set(len(self._by_hash))
         self.arrival_times.pop(tx_hash, None)
         sender_queue = self._by_sender.get(tx.sender)
         if sender_queue and sender_queue.get(tx.nonce) is tx:

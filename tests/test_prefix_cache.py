@@ -215,7 +215,7 @@ class TestSynthesisDedup:
         """speculate_many reports paths merge_path accepted, not paths
         synthesized."""
         monkeypatch.setattr("repro.core.speculator.merge_path",
-                            lambda ap, path: False)
+                            lambda ap, path, metrics=None: False)
         speculator = Speculator(oracle_world())
         contexts = [FutureContext(i, header(3990462 + i))
                     for i in range(1, 4)]
@@ -223,6 +223,90 @@ class TestSynthesisDedup:
                                            contexts)
         assert merged == 0
         assert all(not r.merged for r in speculator.records)
+
+
+# -- dedup index lifecycle (bounded, detached, invalidated) -------------------
+
+class TestDedupLifecycle:
+    def test_clone_does_not_alias_cached_path(self):
+        """Regression: the fingerprint index used to store the merged
+        path object itself, so mutating a merged path's stats (or read
+        set) silently corrupted every later dedup clone."""
+        speculator = Speculator(oracle_world())
+        target = submit(ALICE, 0, 1980)
+        first = speculator.speculate(target, FutureContext(1, header()))
+        second = speculator.speculate(target, FutureContext(2, header()))
+        assert speculator.dedup_hits == 1
+        trace_len = second.stats.trace_len
+        # Corrupt both previously returned paths...
+        first.stats.trace_len += 1000
+        second.stats.trace_len += 1000
+        first.read_set[("poison", ())] = 1
+        # ...and the next clone must be untouched.
+        third = speculator.speculate(target, FutureContext(3, header()))
+        assert speculator.dedup_hits == 2
+        assert third.stats.trace_len == trace_len
+        assert ("poison", ()) not in third.read_set
+        assert third.stats is not first.stats
+        assert third.stats is not second.stats
+
+    def test_dedup_index_bounded_per_tx(self):
+        """Regression: the fingerprint map grew without bound.  Distinct
+        traces for one transaction now evict LRU past the cap."""
+        speculator = Speculator(oracle_world(), dedup_capacity_per_tx=2)
+        target = submit(ALICE, 0, 1980)
+        for i in range(4):
+            # Different timestamps -> different traces -> new entries.
+            speculator.speculate(
+                target, FutureContext(i + 1, header(3990462 + 8 * i)))
+        assert speculator.dedup_index_size() <= 2
+        assert speculator.c_dedup_evictions.value == 2
+
+    def test_discard_clears_fingerprints(self):
+        speculator = Speculator(oracle_world())
+        target = submit(ALICE, 0, 1980)
+        speculator.speculate(target, FutureContext(1, header()))
+        assert speculator.dedup_index_size() == 1
+        speculator.discard(target.hash)
+        assert speculator.dedup_index_size() == 0
+        assert speculator.get_ap(target.hash) is None
+        speculator.speculate(target, FutureContext(2, header()))
+        assert speculator.dedup_hits == 0
+
+    def test_reorg_clears_fingerprints(self):
+        """Regression: a reorg invalidated prefixes but left the
+        fingerprint index pointing at paths synthesized against the
+        abandoned branch's state."""
+        speculator = Speculator(oracle_world())
+        target = submit(ALICE, 0, 1980)
+        speculator.speculate(
+            target, FutureContext(1, header(), (submit(BOB, 0, 2060),)))
+        assert speculator.dedup_index_size() == 1
+        assert len(speculator.prefix_cache) == 1
+        speculator.on_reorg()
+        assert speculator.dedup_index_size() == 0
+        assert len(speculator.prefix_cache) == 0
+
+    def test_node_reorg_reaches_speculator(self):
+        node = ForerunnerNode(fresh_world())
+        target = submit(ALICE, 0, 1980)
+        node.speculator.speculate(target, FutureContext(1, header()))
+        assert node.speculator.dedup_index_size() == 1
+        node.on_reorg()
+        assert node.speculator.dedup_index_size() == 0
+        assert node.c_reorgs.value == 1
+
+    def test_merge_failed_path_not_indexed(self, monkeypatch):
+        """Only merged paths may be cloned: a rejected path lives in no
+        AP, so resurrecting it via dedup would bypass merge entirely."""
+        monkeypatch.setattr("repro.core.speculator.merge_path",
+                            lambda ap, path, metrics=None: False)
+        speculator = Speculator(oracle_world())
+        target = submit(ALICE, 0, 1980)
+        speculator.speculate(target, FutureContext(1, header()))
+        assert speculator.dedup_index_size() == 0
+        speculator.speculate(target, FutureContext(2, header()))
+        assert speculator.dedup_hits == 0
 
 
 # -- cache coherence across heads and reorgs ----------------------------------
