@@ -224,6 +224,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        FaultPlan,
+        check_equivalence,
+        format_report,
+    )
+    from repro.obs.export import canonical_json, export_jsonl
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="chaos",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    if args.rate is not None:
+        plan = FaultPlan.uniform(seed=args.seed, probability=args.rate)
+    else:
+        plan = FaultPlan.seeded_random(seed=args.seed,
+                                       max_rate=args.max_rate)
+    report = check_equivalence(dataset, plan, observer=args.observer)
+    print(format_report(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report.as_dict()))
+            handle.write("\n")
+        print(f"\nwrote degradation report -> {args.json_out}")
+    if args.trace_out:
+        from repro.sim.emulator import replay
+        faulted = replay(dataset, args.observer, fault_plan=plan)
+        written = export_jsonl(
+            args.trace_out, faulted.tracer, faulted.registry,
+            meta={"dataset": dataset.name, "observer": args.observer,
+                  "chaos_seed": args.seed,
+                  "workload_seed": args.workload_seed,
+                  "duration": args.duration})
+        print(f"wrote {written} trace lines -> {args.trace_out}")
+    return 0 if report.ok else 1
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     from repro.bench.history import simulate_block_history
 
@@ -291,6 +334,30 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the canonical JSONL trace here")
     report.set_defaults(func=_cmd_report)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a workload under a seeded fault plan and verify "
+             "graceful degradation (state roots stay byte-identical)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (the chaos draw)")
+    chaos.add_argument("--duration", type=float, default=30.0,
+                       help="seconds of simulated traffic")
+    chaos.add_argument("--workload-seed", type=int, default=2021,
+                       help="traffic generator seed")
+    chaos.add_argument("--observer", default="live")
+    chaos.add_argument("--rate", type=float, default=None,
+                       help="flat fault probability at every site "
+                            "(default: a seeded random plan)")
+    chaos.add_argument("--max-rate", type=float, default=0.3,
+                       help="per-site probability cap of the random plan")
+    chaos.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the degradation report as canonical "
+                            "JSON (byte-identical for a given seed)")
+    chaos.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the faulted run's canonical JSONL "
+                            "obs trace here")
+    chaos.set_defaults(func=_cmd_chaos)
 
     history = sub.add_parser(
         "history", help="print the Figure-2 saturation series")

@@ -28,6 +28,10 @@ from repro.state.statedb import StateDB
 OUTCOME_NO_AP = "no_ap"          # heard/unheard but nothing speculated
 OUTCOME_VIOLATED = "violated"    # AP existed, no constraint set matched
 OUTCOME_SATISFIED = "satisfied"  # fast path executed
+#: The accelerated attempt died to a contained fault (chaos layer or a
+#: real bug); the node reverted and re-ran the plain path.  Counted in
+#: Table 3's unsatisfied bucket like any other non-satisfied outcome.
+OUTCOME_FAULTED = "faulted"
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.chain.block import Block
 from repro.chain.transaction import Transaction
 from repro.core import costmodel
 from repro.core.accelerator import (
+    OUTCOME_FAULTED,
     OUTCOME_NO_AP,
     TransactionAccelerator,
 )
@@ -27,6 +28,8 @@ from repro.core.predictor import MultiFuturePredictor, PredictorConfig
 from repro.core.prefetcher import Prefetcher
 from repro.core.speculator import Speculator
 from repro.errors import ChainError
+from repro.faults.guard import SpeculationGuard
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import NullTracer, SpanTracer
 from repro.state.nodecache import NodeCache
@@ -150,6 +153,11 @@ class ForerunnerConfig:
     #: Bound on cached trace fingerprints per transaction (synthesis
     #: dedup LRU).
     dedup_capacity_per_tx: int = 16
+    #: Chaos testing: a :class:`repro.faults.injector.FaultPlan` to run
+    #: the node under.  ``None`` (the default) installs the no-op
+    #: injector; the guard/breaker machinery is always active either
+    #: way, so real faults degrade gracefully too.
+    fault_plan: object = None
 
 
 class ForerunnerNode:
@@ -177,8 +185,19 @@ class ForerunnerNode:
         self.c_spec_cycles = obs.counter("speculation_cycles")
         self.c_reorgs = obs.counter("reorgs")
         self.node_cache = NodeCache()
+        # Chaos layer: the injector evaluates the configured fault plan
+        # (no-op without one); the guard contains every speculative
+        # fault and hosts the per-contract circuit breaker.  One guard
+        # serves all components so containment counts are centralized.
+        if self.config.fault_plan is not None:
+            self.fault_injector = FaultInjector(self.config.fault_plan,
+                                                registry=self.registry)
+        else:
+            self.fault_injector = NULL_INJECTOR
+        self.guard = SpeculationGuard(registry=self.registry)
         self.predictor = MultiFuturePredictor(self.config.predictor,
-                                              registry=self.registry)
+                                              registry=self.registry,
+                                              injector=self.fault_injector)
         self.speculator = Speculator(
             self.world,
             pass_config=self.config.pass_config,
@@ -189,9 +208,12 @@ class ForerunnerNode:
             prefix_cache_capacity=self.config.prefix_cache_capacity,
             dedup_capacity_per_tx=self.config.dedup_capacity_per_tx,
             registry=self.registry,
-            tracer=self.tracer)
+            tracer=self.tracer,
+            injector=self.fault_injector,
+            guard=self.guard)
         self.prefetcher = Prefetcher(self.world, self.node_cache,
-                                     registry=self.registry)
+                                     registry=self.registry,
+                                     injector=self.fault_injector)
         self.accelerator = TransactionAccelerator()
         self.reports: List[BlockReport] = []
         # Pending pool: hash -> (tx, heard_time).
@@ -260,8 +282,15 @@ class ForerunnerNode:
         self._last_spec_state = state_key
         self.c_spec_cycles.inc()
         pending = [tx for tx, _ in self.pool.values()]
-        prediction = self.predictor.predict(
-            pending, block_gas_limit=15_000_000)
+        # A predictor fault costs one speculation cycle, nothing more:
+        # the guard contains it and the node simply has no candidates.
+        prediction, _ = self.guard.run(
+            "predictor.predict",
+            lambda: self.predictor.predict(
+                pending, block_gas_limit=15_000_000),
+            fallback=None)
+        if prediction is None:
+            return 0
         jobs = 0
         deadline = now + budget_seconds if budget_seconds else None
         for tx in prediction.candidates:
@@ -271,6 +300,11 @@ class ForerunnerNode:
             if done_here >= self.config.max_contexts_per_head:
                 continue
             if done_total >= self.config.max_total_contexts:
+                continue
+            # Per-contract circuit breaker: after repeated speculation
+            # faults for a contract, stop speculating on it until the
+            # cost-unit cool-down expires (half-open probe after that).
+            if not self.guard.breaker.allows(tx.to):
                 continue
             contexts = prediction.contexts.get(tx.hash, [])
             for context in contexts[:self.config.max_contexts_per_head
@@ -289,6 +323,9 @@ class ForerunnerNode:
                 path = self.speculator.speculate(tx, context)
                 job_cost = (self.speculator.total_logical_cost
                             - cost_before)
+                # Chaos: a stalled worker "timeout" adds cost units to
+                # this job's schedule, delaying when its AP is ready.
+                job_cost += self.fault_injector.stall_units(tx=tx.hash)
                 finish = start + job_cost / self.config.worker_speed
                 self._workers[worker] = finish
                 jobs += 1
@@ -306,12 +343,48 @@ class ForerunnerNode:
                         self.first_context.setdefault(
                             tx.hash, context.context_id)
                         if self.config.enable_prefetch:
-                            self.prefetcher.prefetch(
-                                ap.prefetch_keys, tx_sender=tx.sender,
-                                tx_to=tx.to)
+                            # Contained: a prefetch fault leaves the
+                            # keys cold (slower reads, same values).
+                            self.guard.run(
+                                "prefetcher.prefetch",
+                                lambda ap=ap, tx=tx:
+                                    self.prefetcher.prefetch(
+                                        ap.prefetch_keys,
+                                        tx_sender=tx.sender,
+                                        tx_to=tx.to),
+                                count_fallback=False)
         return jobs
 
     # -- execution (the critical path) ----------------------------------------------
+
+    def _execute_accelerated(self, tx: Transaction, block: Block,
+                             state: StateDB, ap):
+        """AP execution with a containment boundary around it.
+
+        The accelerator already converts constraint violations into the
+        plain fallback internally; this boundary additionally contains
+        *everything else* — injected faults and genuine bugs alike — by
+        reverting any partial state mutation and re-running the plain
+        path (the correctness anchor, which stays unguarded: an error
+        there is a real error and must surface).
+        """
+        def attempt():
+            self.fault_injector.maybe_raise("accelerator.execute",
+                                            tx=tx.hash, contract=tx.to)
+            return self.accelerator.execute(tx, block.header, state, ap)
+
+        snap = state.snapshot()
+        logs_mark = len(state.logs)
+        receipt, faulted = self.guard.run("accelerator.execute", attempt)
+        if faulted:
+            state.revert_to(snap)
+            del state.logs[logs_mark:]
+            receipt = self.accelerator.execute_plain(
+                tx, block.header, state,
+                fixed_cost=costmodel.FALLBACK_FIXED)
+            receipt.outcome = OUTCOME_FAULTED
+            receipt.perfect_context_ids = ()
+        return receipt
 
     def process_block(self, block: Block, now: float = 0.0) -> BlockReport:
         """Execute a freshly decided block through the accelerator."""
@@ -328,8 +401,12 @@ class ForerunnerNode:
             with self.tracer.span("execute", tx=f"{tx.hash:#x}",
                                   block=block.number,
                                   ap_ready=ap_ready) as span:
-                receipt = self.accelerator.execute(
-                    tx, block.header, state, ap if ap_ready else None)
+                if ap_ready:
+                    receipt = self._execute_accelerated(
+                        tx, block, state, ap)
+                else:
+                    receipt = self.accelerator.execute(
+                        tx, block.header, state, None)
                 span.add_cost(receipt.tally.total)
                 span.set(outcome=receipt.outcome)
             cost = receipt.tally.total

@@ -98,11 +98,15 @@ class MultiFuturePredictor:
     """Builds (transaction, future contexts) pairs from the pool."""
 
     def __init__(self, config: Optional[PredictorConfig] = None,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 injector=None) -> None:
         self.config = config or PredictorConfig()
         self.stats = HeaderStats()
         self._rng = random.Random(self.config.seed)
         self._next_context_id = 1
+        #: Chaos hook (:mod:`repro.faults`); faults raised here are
+        #: contained by the node's guard (one skipped cycle).
+        self.injector = injector
         obs = (registry or get_registry()).scope("predictor")
         self.c_cycles = obs.counter("cycles")
         self.c_candidates = obs.counter("candidates")
@@ -232,6 +236,8 @@ class MultiFuturePredictor:
     def predict(self, pending: Sequence[Transaction],
                 block_gas_limit: int) -> Prediction:
         """One full prediction cycle over the current pending pool."""
+        if self.injector is not None:
+            self.injector.maybe_raise("predictor.predict")
         candidates = self.rank_pending(pending, block_gas_limit)
         groups = self.group_dependencies(candidates)
         by_sender: Dict[int, List[Transaction]] = {}

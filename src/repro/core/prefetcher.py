@@ -26,9 +26,13 @@ class Prefetcher:
     """Pre-populates a node cache from speculated read sets."""
 
     def __init__(self, world: WorldState, node_cache: NodeCache,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 injector=None) -> None:
         self.world = world
         self.node_cache = node_cache
+        #: Chaos hook (:mod:`repro.faults`); faults raised here are
+        #: contained by the node's guard (the keys just stay cold).
+        self.injector = injector
         obs = (registry or get_registry()).scope("prefetcher")
         #: Off-critical-path I/O cost paid by prefetching (cost units).
         self.c_offpath_cost = obs.counter("offpath_cost")
@@ -53,6 +57,8 @@ class Prefetcher:
 
         Returns the number of newly warmed keys.
         """
+        if self.injector is not None:
+            self.injector.maybe_raise("prefetcher.prefetch", to=tx_to)
         disk = DiskModel()
         state = StateDB(self.world, disk=disk, node_cache=self.node_cache)
         warmed = 0

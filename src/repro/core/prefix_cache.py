@@ -67,12 +67,21 @@ class PrefixEntry:
 
 
 class PrefixCache:
-    """LRU cache of materialized predecessor prefixes."""
+    """LRU cache of materialized predecessor prefixes.
+
+    ``injector`` (a :class:`repro.faults.injector.FaultInjector`) makes
+    the cache a chaos surface: faults at ``prefix_cache.lookup`` are
+    contained *locally* as misses and faults at ``prefix_cache.store``
+    skip caching — the cache is a pure accelerator, so local degradation
+    is always safe and never needs to reach the guard layer.
+    """
 
     def __init__(self, capacity: int = 256, enabled: bool = True,
-                 registry: Optional[MetricsRegistry] = None) -> None:
+                 registry: Optional[MetricsRegistry] = None,
+                 injector=None) -> None:
         self.capacity = capacity
         self.enabled = enabled
+        self.injector = injector
         self._entries: "OrderedDict[tuple, PrefixEntry]" = OrderedDict()
         # -- instruments (core.stats / CLI surface these) ------------------
         obs = (registry or get_registry()).scope("prefix_cache")
@@ -147,6 +156,10 @@ class PrefixCache:
         """The entry at ``key`` (refreshing its LRU position) or None."""
         if not self.enabled:
             return None
+        if (self.injector is not None
+                and self.injector.evaluate("prefix_cache.lookup")
+                is not None):
+            return None  # contained locally: a lookup fault is a miss
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -155,6 +168,10 @@ class PrefixCache:
     def store(self, key: tuple, entry: PrefixEntry) -> None:
         if not self.enabled:
             return
+        if (self.injector is not None
+                and self.injector.evaluate("prefix_cache.store")
+                is not None):
+            return  # contained locally: a store fault skips caching
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -173,6 +190,23 @@ class PrefixCache:
         else:
             self._seen.add(key)
         return redundant
+
+    def evict_tx(self, tx_hash: int) -> int:
+        """Drop every prefix whose predecessor list pins ``tx_hash``.
+
+        Called when a transaction leaves the pipeline (executed,
+        dropped, or reorg-abandoned): any cached prefix that executed
+        it as a predecessor keeps its overlay StateDB — and the fork
+        chain beneath it — alive for no future benefit.  Returns the
+        number of entries dropped.
+        """
+        stale = [key for key in self._entries if tx_hash in key[7]]
+        for key in stale:
+            del self._entries[key]
+        self._seen = {key for key in self._seen if tx_hash not in key[7]}
+        if stale:
+            self._g_entries.set(len(self._entries))
+        return len(stale)
 
     def invalidate(self, reason: str = "") -> int:
         """Drop every entry (new canonical head / reorg); returns the

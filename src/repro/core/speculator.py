@@ -60,6 +60,12 @@ from repro.core.trace import TraceResult, trace_fingerprint, trace_transaction
 from repro.core.translate import translate_trace
 from repro.errors import SpeculationError
 from repro.evm.interpreter import EvmMetrics
+from repro.faults.guard import SpeculationGuard
+from repro.faults.injector import (
+    NULL_INJECTOR,
+    corrupt_guard_branch,
+    corrupt_shortcut,
+)
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import NullTracer
 from repro.state.statedb import StateDB
@@ -127,6 +133,9 @@ class SpeculationRecord:
     #: Predecessors actually executed vs. served by the prefix cache.
     preds_executed: int = 0
     preds_cached: int = 0
+    #: True when this speculation died to a contained fault (injected
+    #: or unexpected) rather than an expected pipeline outcome.
+    faulted: bool = False
 
 
 @dataclass
@@ -192,7 +201,9 @@ class Speculator:
                  prefix_cache_capacity: int = 1024,
                  dedup_capacity_per_tx: int = 16,
                  registry: Optional[MetricsRegistry] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 injector=None,
+                 guard: Optional[SpeculationGuard] = None) -> None:
         self.world = world
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
         self.pass_config = pass_config
@@ -201,9 +212,18 @@ class Speculator:
         self.enable_synth_dedup = enable_synth_dedup
         registry = registry or get_registry()
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Chaos layer (:mod:`repro.faults`): fault source + containment.
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.guard = guard if guard is not None \
+            else SpeculationGuard(registry=registry)
+        # The guard's breaker cool-downs and retry backoffs tick in the
+        # speculator's deterministic logical-cost currency.
+        self.guard.clock = lambda: self.total_logical_cost
+        self.guard.charge_cost = self._charge_backoff
         self.prefix_cache = PrefixCache(
             capacity=prefix_cache_capacity, enabled=enable_prefix_cache,
-            registry=registry)
+            registry=registry,
+            injector=self.injector if self.injector.enabled else None)
         self.aps: Dict[int, AcceleratedProgram] = {}
         self.records: List[SpeculationRecord] = []
         #: Synthesis stats of executed-and-dropped APs (§5.5).
@@ -258,6 +278,41 @@ class Speculator:
     def dedup_cost_saved(self) -> int:
         return self.c_dedup_cost_saved.value
 
+    # -- chaos plumbing --------------------------------------------------
+
+    def _charge_backoff(self, units: int) -> None:
+        """Retry backoff is real (simulated) work: it delays the worker
+        (logical cost) and is billed to §5.6 overhead (actual cost)."""
+        self.c_logical_cost.inc(units)
+        self.c_actual_cost.inc(units)
+
+    def _storage_hook(self) -> None:
+        self.injector.maybe_raise("storage.read")
+
+    def _build_shortcuts_contained(self, ap: AcceleratedProgram) -> None:
+        """Memoization is a pure bonus: a fault while building
+        shortcuts is contained locally (the AP simply keeps fewer or no
+        shortcuts) instead of failing the whole speculation."""
+        def build() -> None:
+            self.injector.maybe_raise("memoize.build")
+            build_shortcuts(ap, self.memoization_strategy)
+        self.guard.run("memoize.build", build, count_fallback=False)
+
+    def _maybe_corrupt(self, ap: AcceleratedProgram,
+                       tx: Transaction) -> None:
+        """Payload-corruption sites (safe by construction): a corrupted
+        shortcut key can only miss; a corrupted guard branch key can
+        only raise ``ConstraintViolation`` and fall back — neither can
+        change committed state."""
+        if not self.injector.enabled:
+            return
+        if self.injector.evaluate("memoize.corrupt", tx=tx.hash,
+                                  contract=tx.to) is not None:
+            corrupt_shortcut(ap, self.injector.rng("memoize.corrupt"))
+        if self.injector.evaluate("ap.corrupt", tx=tx.hash,
+                                  contract=tx.to) is not None:
+            corrupt_guard_branch(ap, self.injector.rng("ap.corrupt"))
+
     # -- public API ----------------------------------------------------------
 
     def get_ap(self, tx_hash: int) -> Optional[AcceleratedProgram]:
@@ -267,6 +322,7 @@ class Speculator:
         """Forget a transaction's AP (e.g. after it was executed),
         archiving its synthesis statistics for §5.5 reporting."""
         self._dedup.pop(tx_hash, None)
+        self.prefix_cache.evict_tx(tx_hash)
         ap = self.aps.pop(tx_hash, None)
         if ap is not None and ap.paths:
             self.archive.append(ApArchive(
@@ -282,6 +338,7 @@ class Speculator:
         head that no longer exists, so its stats must not pollute §5.5
         aggregates and its paths must never be cloned again)."""
         self._dedup.pop(tx_hash, None)
+        self.prefix_cache.evict_tx(tx_hash)
         self.aps.pop(tx_hash, None)
 
     def invalidate_prefixes(self, reason: str = "") -> int:
@@ -315,9 +372,12 @@ class Speculator:
         (and hence the trace) is identical in both modes.
         """
         outcome = _PrefixOutcome()
+        hook = self._storage_hook if self.injector.enabled else None
         predecessors = context.predecessors
         if not predecessors:
-            return StateDB(self.world), outcome
+            state = StateDB(self.world)
+            state.disk.fault_hook = hook
+            return state, outcome
         from repro.evm.interpreter import EVM  # local: cycle-free
 
         cache = self.prefix_cache
@@ -348,6 +408,7 @@ class Speculator:
         for index in range(start, len(predecessors)):
             child = parent.fork() if parent is not None \
                 else StateDB(self.world)
+            child.disk.fault_hook = hook
             evm = EVM(child, header, predecessors[index],
                       blockhash_fn=self.blockhash_fn,
                       obs=self._prefix_evm)
@@ -367,7 +428,9 @@ class Speculator:
                 PrefixEntry(child, outcome.instructions_full,
                             outcome.io_full))
             parent = child
-        return parent.fork(), outcome
+        state = parent.fork()
+        state.disk.fault_hook = hook
+        return state, outcome
 
     # -- dedup index -----------------------------------------------------
 
@@ -402,10 +465,38 @@ class Speculator:
 
         Returns the APPath (None if synthesis failed).  The speculative
         overlay state is built on the committed world and discarded.
+
+        Containment boundary: *any* exception a stage raises — injected
+        or a genuine bug — is absorbed by the guard here, recorded as a
+        failed (``faulted``) :class:`SpeculationRecord`, and reported to
+        the per-contract circuit breaker.  One broken context can never
+        abort a batch or escape to the node; transient storage faults
+        are retried with cost-unit backoff first.
         """
         with self.tracer.span("speculate", tx=tx.hash,
                               context=context.context_id) as root_span:
-            return self._speculate(tx, context, root_span)
+            path, faulted = self.guard.run(
+                "speculate",
+                lambda: self._speculate(tx, context, root_span),
+                fallback=None,
+                contract=tx.to)
+            if faulted:
+                # Stages append their record before returning, so an
+                # escaped exception means no record exists yet for this
+                # context — write the failure down.
+                self.c_errors.inc()
+                root_span.set(outcome="faulted")
+                if not self.guard.last_injected:
+                    # A *real* bug may have died mid-merge and left the
+                    # AP tree half-rewritten: discard it defensively
+                    # (injected faults fire before any mutation, so the
+                    # AP stays usable for those).
+                    self.discard(tx.hash)
+                self.records.append(SpeculationRecord(
+                    tx_hash=tx.hash, context_id=context.context_id,
+                    trace_length=0, synthesis_cost=0, merged=False,
+                    error=self.guard.last_error, faulted=True))
+            return path
 
     def _speculate(self, tx: Transaction, context: FutureContext,
                    root_span) -> Optional[APPath]:
@@ -423,11 +514,15 @@ class Speculator:
             return None
         with self.tracer.span("materialize_prefix",
                               preds=len(context.predecessors)) as sp:
+            self.injector.maybe_raise("speculator.materialize_prefix",
+                                      tx=tx.hash, contract=tx.to)
             state, prefix = self._materialize_context(context)
             sp.add_cost(prefix.paid)
             sp.set(executed=prefix.executed, cached=prefix.cached)
 
         with self.tracer.span("pre_execute") as sp:
+            self.injector.maybe_raise("speculator.pre_execute",
+                                      tx=tx.hash, contract=tx.to)
             trace = trace_transaction(state, context.header, tx,
                                       blockhash_fn=self.blockhash_fn)
             trace.context_id = context.context_id
@@ -502,6 +597,10 @@ class Speculator:
                 # on their own spans, so sibling stages partition the
                 # actual cost without double counting.
                 with self.tracer.span("synthesize") as sp:
+                    # InjectedFault is not a SpeculationError: it flies
+                    # past the except below, up to the guard boundary.
+                    self.injector.maybe_raise("speculator.synthesize",
+                                              tx=tx.hash, contract=tx.to)
                     path = synthesize_path(trace, path_id=path_id,
                                            context_id=context.context_id,
                                            pass_config=self.pass_config)
@@ -528,14 +627,17 @@ class Speculator:
             ap = AcceleratedProgram(tx.hash)
             self.aps[tx.hash] = ap
         with self.tracer.span("merge") as sp:
+            self.injector.maybe_raise("speculator.merge",
+                                      tx=tx.hash, contract=tx.to)
             merged = merge_path(ap, path, self._merge_metrics)
             if merged:
                 prune_tree(ap, self._merge_metrics)
                 if self.enable_memoization:
-                    build_shortcuts(ap, self.memoization_strategy)
+                    self._build_shortcuts_contained(ap)
             sp.set(merged=merged)
         if merged:
             self.c_merged.inc()
+            self._maybe_corrupt(ap, tx)
             # Index only merged paths: a path whose merge failed is not
             # part of any AP, so cloning it later would resurrect a
             # rejected structure.

@@ -84,6 +84,27 @@ class SpeculationError(ReproError):
     """AP synthesis failed for a transaction (e.g. unsupported trace)."""
 
 
+class InjectedFault(ReproError):
+    """A fault deliberately raised by :mod:`repro.faults` (chaos testing).
+
+    Never a real error: every injection site sits inside speculative
+    machinery whose failures must degrade to baseline execution, so an
+    escaped :class:`InjectedFault` is itself a robustness bug.
+    """
+
+    def __init__(self, site: str, kind: str = "raise") -> None:
+        super().__init__(f"injected fault at {site} ({kind})")
+        self.site = site
+        self.kind = kind
+
+
+class TransientStorageError(InjectedFault):
+    """A transient (retryable) simulated storage read failure."""
+
+    def __init__(self, site: str = "storage.read") -> None:
+        super().__init__(site, kind="storage_error")
+
+
 class ChainError(ReproError):
     """Invalid block, transaction, or chain operation."""
 

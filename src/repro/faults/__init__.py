@@ -1,0 +1,86 @@
+"""Deterministic fault injection + graceful degradation (chaos layer).
+
+Three pieces:
+
+* :mod:`repro.faults.injector` — declarative :class:`FaultPlan`\\ s and
+  the :class:`FaultInjector` consulted at named sites across the
+  speculation pipeline;
+* :mod:`repro.faults.guard` — :class:`SpeculationGuard` containment,
+  transient-storage retry, and the per-contract
+  :class:`CircuitBreaker`;
+* :mod:`repro.faults.invariants` — :func:`check_equivalence`, the
+  paper's "speculation is pure acceleration" safety property as an
+  executable check.
+
+See ``docs/ROBUSTNESS.md``.
+"""
+
+from repro.faults.guard import (
+    CircuitBreaker,
+    RetryPolicy,
+    SpeculationGuard,
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+)
+from repro.faults.injector import (
+    DEFAULT_REORDER_SECONDS,
+    DEFAULT_STALL_UNITS,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    KIND_CORRUPT,
+    KIND_DROP,
+    KIND_DUPLICATE,
+    KIND_RAISE,
+    KIND_REORDER,
+    KIND_STALL,
+    KIND_STORAGE,
+    KINDS,
+    LETHAL_SITES,
+    NULL_INJECTOR,
+    NullInjector,
+    SITE_KINDS,
+    SITES,
+    corrupt_guard_branch,
+    corrupt_shortcut,
+)
+from repro.faults.invariants import (
+    EquivalenceReport,
+    check_equivalence,
+    format_report,
+    run_digest,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "SpeculationGuard",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "DEFAULT_REORDER_SECONDS",
+    "DEFAULT_STALL_UNITS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "KIND_CORRUPT",
+    "KIND_DROP",
+    "KIND_DUPLICATE",
+    "KIND_RAISE",
+    "KIND_REORDER",
+    "KIND_STALL",
+    "KIND_STORAGE",
+    "KINDS",
+    "LETHAL_SITES",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "SITE_KINDS",
+    "SITES",
+    "corrupt_guard_branch",
+    "corrupt_shortcut",
+    "EquivalenceReport",
+    "check_equivalence",
+    "format_report",
+    "run_digest",
+]

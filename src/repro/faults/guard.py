@@ -1,0 +1,287 @@
+"""Containment, retry, and circuit breaking for speculative stages.
+
+The guard layer is what turns "an exception somewhere in the
+speculation machinery" into "this transaction runs at baseline speed".
+Three cooperating pieces:
+
+* :class:`SpeculationGuard.run` — wraps any speculative stage; every
+  exception (including injected ones) is contained, counted under the
+  ``guard.*`` obs scope, and converted into the stage's fallback value.
+* :class:`RetryPolicy` — transient storage faults
+  (:class:`repro.errors.TransientStorageError`) are retried with
+  exponential *cost-unit* backoff before the guard gives up; the backoff
+  is charged to the stage's logical cost so stalls stay deterministic.
+* :class:`CircuitBreaker` — per-contract: after N consecutive faulted
+  speculations for a contract the breaker opens and speculation for that
+  contract is skipped for a cool-down measured in cost units; a
+  half-open probe admits one speculation, closing on success or
+  re-opening with doubled cool-down on failure.
+
+All "time" is the deterministic cost-unit clock supplied by the node
+(total logical speculation cost), never the wall clock, so breaker
+transitions are bitwise reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransientStorageError
+from repro.obs.registry import MetricsRegistry, get_registry
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry transient storage faults with exponential cost backoff."""
+
+    max_attempts: int = 3
+    #: Cost units charged for the first retry's backoff.
+    base_backoff_units: int = 5_000
+    backoff_factor: float = 2.0
+
+    def backoff_units(self, attempt: int) -> int:
+        """Backoff charged before retry ``attempt`` (1-based)."""
+        return int(self.base_backoff_units
+                   * (self.backoff_factor ** (attempt - 1)))
+
+
+@dataclass
+class BreakerTransition:
+    """One recorded breaker state change (cost-unit timestamped)."""
+
+    contract: int
+    old_state: str
+    new_state: str
+    at_cost: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"contract": f"{self.contract:#x}",
+                "from": self.old_state, "to": self.new_state,
+                "at_cost": self.at_cost}
+
+
+class CircuitBreaker:
+    """Per-contract breaker over consecutive speculation faults.
+
+    The clock is any monotone cost-unit counter (the node wires it to
+    the speculator's total logical cost).  Cool-downs double on every
+    consecutive re-open and reset once the breaker closes again.
+    """
+
+    def __init__(self, clock: Callable[[], int],
+                 threshold: int = 3,
+                 cooldown_units: int = 10_000_000,
+                 max_backoff_doublings: int = 6,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.clock = clock
+        self.threshold = threshold
+        self.cooldown_units = cooldown_units
+        self.max_backoff_doublings = max_backoff_doublings
+        obs = (registry or get_registry()).scope("breaker")
+        self.c_opened = obs.counter("opened")
+        self.c_closed = obs.counter("closed")
+        self.c_half_open = obs.counter("half_open")
+        self.c_skipped = obs.counter("skipped")
+        self.g_open = obs.gauge("open_contracts")
+        self._consecutive: Dict[int, int] = {}
+        self._state: Dict[int, str] = {}
+        self._open_until: Dict[int, int] = {}
+        self._doublings: Dict[int, int] = {}
+        self.transitions: List[BreakerTransition] = []
+
+    # -- queries ---------------------------------------------------------
+
+    def state(self, contract: int) -> str:
+        return self._state.get(contract, STATE_CLOSED)
+
+    def allows(self, contract: int) -> bool:
+        """May we speculate for ``contract`` now?
+
+        While open, returns False (and counts the skip) until the
+        cool-down expires; the first query after expiry transitions to
+        half-open and admits a single probe speculation.
+        """
+        state = self.state(contract)
+        if state == STATE_CLOSED or state == STATE_HALF_OPEN:
+            return True
+        if self.clock() >= self._open_until[contract]:
+            self._transition(contract, STATE_HALF_OPEN)
+            self.c_half_open.inc()
+            return True
+        self.c_skipped.inc()
+        return False
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self, contract: int) -> None:
+        self._consecutive[contract] = 0
+        if self.state(contract) == STATE_HALF_OPEN:
+            self._transition(contract, STATE_CLOSED)
+            self._doublings[contract] = 0
+            self.g_open.add(-1)
+            self.c_closed.inc()
+
+    def record_fault(self, contract: int) -> None:
+        state = self.state(contract)
+        if state == STATE_HALF_OPEN:
+            # Probe failed: re-open with doubled cool-down.
+            self._open(contract, reopen=True)
+            return
+        if state == STATE_OPEN:
+            return
+        count = self._consecutive.get(contract, 0) + 1
+        self._consecutive[contract] = count
+        if count >= self.threshold:
+            self._open(contract, reopen=False)
+
+    # -- internals -------------------------------------------------------
+
+    def _open(self, contract: int, reopen: bool) -> None:
+        doublings = self._doublings.get(contract, 0)
+        if reopen:
+            doublings = min(doublings + 1, self.max_backoff_doublings)
+        else:
+            self.g_open.add(1)
+        self._doublings[contract] = doublings
+        cooldown = self.cooldown_units * (2 ** doublings)
+        self._open_until[contract] = self.clock() + cooldown
+        self._consecutive[contract] = 0
+        self._transition(contract, STATE_OPEN)
+        self.c_opened.inc()
+
+    def _transition(self, contract: int, new_state: str) -> None:
+        old = self.state(contract)
+        self._state[contract] = new_state
+        self.transitions.append(BreakerTransition(
+            contract=contract, old_state=old, new_state=new_state,
+            at_cost=self.clock()))
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "opened": self.c_opened.value,
+            "closed": self.c_closed.value,
+            "half_open_probes": self.c_half_open.value,
+            "skipped_speculations": self.c_skipped.value,
+            "transitions": [t.as_dict() for t in self.transitions],
+        }
+
+
+class SpeculationGuard:
+    """Contains every speculative-stage exception behind one interface.
+
+    ``run(stage, fn, fallback=..., contract=...)`` executes ``fn``; on
+    any exception the guard counts the containment (total, per stage,
+    and injected-vs-unexpected), informs the per-contract breaker, and
+    returns the fallback value.  Transient storage faults are retried
+    per the :class:`RetryPolicy` first, with backoff charged through
+    ``charge_cost`` so retry stalls appear in the deterministic cost
+    ledger.
+
+    The clock starts as a zero lambda and is re-pointed by the node at
+    the speculator's logical-cost counter once both exist.
+    """
+
+    def __init__(self,
+                 retry: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 clock: Optional[Callable[[], int]] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 charge_cost: Optional[Callable[[int], None]] = None
+                 ) -> None:
+        self.clock = clock or (lambda: 0)
+        self.retry = retry or RetryPolicy()
+        registry = registry or get_registry()
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            clock=lambda: self.clock(), registry=registry)
+        self.charge_cost = charge_cost or (lambda units: None)
+        obs = registry.scope("guard")
+        self._obs = obs
+        self.c_contained = obs.counter("contained")
+        self.c_injected = obs.counter("contained_injected")
+        self.c_unexpected = obs.counter("contained_unexpected")
+        self.c_retries = obs.counter("storage_retries")
+        self.c_retry_exhausted = obs.counter("storage_retries_exhausted")
+        self.c_fallbacks = obs.counter("fallbacks")
+        self._stage_contained: Dict[str, Any] = {}
+        #: Description of the most recently contained exception (for
+        #: failure records) and whether it was an injected fault.
+        self.last_error: Optional[str] = None
+        self.last_injected: bool = False
+
+    def _stage_counter(self, stage: str):
+        counter = self._stage_contained.get(stage)
+        if counter is None:
+            counter = self._obs.counter(f"stage.{stage}.contained")
+            self._stage_contained[stage] = counter
+        return counter
+
+    def run(self, stage: str, fn: Callable[[], Any], *,
+            fallback: Any = None,
+            contract: Optional[int] = None,
+            count_fallback: bool = True) -> Tuple[Any, bool]:
+        """Execute ``fn``; return ``(result, faulted)``.
+
+        ``faulted`` is True when the fallback value was substituted.
+        """
+        attempt = 1
+        while True:
+            try:
+                result = fn()
+            except TransientStorageError as exc:
+                if attempt < self.retry.max_attempts:
+                    self.c_retries.inc()
+                    self.charge_cost(self.retry.backoff_units(attempt))
+                    attempt += 1
+                    continue
+                self.c_retry_exhausted.inc()
+                self._contain(stage, exc, injected=True,
+                              contract=contract,
+                              count_fallback=count_fallback)
+                return fallback, True
+            except Exception as exc:  # noqa: BLE001 - containment is the point
+                injected = getattr(exc, "site", None) is not None
+                self._contain(stage, exc, injected=injected,
+                              contract=contract,
+                              count_fallback=count_fallback)
+                return fallback, True
+            if contract is not None:
+                self.breaker.record_success(contract)
+            return result, False
+
+    def _contain(self, stage: str, exc: BaseException, *,
+                 injected: bool, contract: Optional[int],
+                 count_fallback: bool) -> None:
+        # Injected faults carry their site: count containment under it,
+        # so the per-stage breakdown mirrors the fault plan's sites.
+        label = getattr(exc, "site", None) or stage
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        self.last_injected = injected
+        self.c_contained.inc()
+        self._stage_counter(label).inc()
+        if injected:
+            self.c_injected.inc()
+        else:
+            self.c_unexpected.inc()
+        if count_fallback:
+            self.c_fallbacks.inc()
+        if contract is not None:
+            self.breaker.record_fault(contract)
+
+    def summary(self) -> Dict[str, Any]:
+        stages = {stage: counter.value
+                  for stage, counter in sorted(self._stage_contained.items())}
+        return {
+            "contained": self.c_contained.value,
+            "contained_injected": self.c_injected.value,
+            "contained_unexpected": self.c_unexpected.value,
+            "storage_retries": self.c_retries.value,
+            "storage_retries_exhausted": self.c_retry_exhausted.value,
+            "fallbacks": self.c_fallbacks.value,
+            "by_stage": stages,
+            "breaker": self.breaker.summary(),
+        }

@@ -54,6 +54,12 @@ class GossipNetwork:
     #: (the seed repo's behaviour): arrival times then depend on
     #: observer registration and on every earlier dissemination.
     legacy_rng: bool = False
+    #: Chaos hook (:mod:`repro.faults`): record-time network faults —
+    #: ``gossip.deliver`` rules here drop (arrival=inf), duplicate
+    #: (no-op on a per-participant schedule) or reorder (delay) each
+    #: *observer* arrival.  Miner arrivals are left alone: miners are
+    #: the ground truth the recorded blocks came from.
+    injector: object = None
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
@@ -96,9 +102,23 @@ class GossipNetwork:
             miner_arrivals[miner] = born + self.latency.sample(
                 self._draw_rng(tx, miner))
         for name, model in self.observer_latencies.items():
-            observer_arrivals[name] = born + model.sample(
-                self._draw_rng(tx, name))
+            arrival = born + model.sample(self._draw_rng(tx, name))
+            observer_arrivals[name] = self._apply_fault(
+                tx, name, arrival)
         return Dissemination(tx, born, miner_arrivals, observer_arrivals)
+
+    def _apply_fault(self, tx: Transaction, name: str,
+                     arrival: float) -> float:
+        """Record-time chaos on one observer arrival (see ``injector``)."""
+        if self.injector is None or not self.injector.enabled:
+            return arrival
+        rule = self.injector.evaluate("gossip.deliver", tx=tx.hash,
+                                      observer=name)
+        if rule is None or rule.kind == "duplicate":
+            return arrival
+        if rule.kind == "reorder":
+            return arrival + rule.reorder_seconds()
+        return float("inf")  # drop (and any raise-kind rule)
 
 
 @dataclass

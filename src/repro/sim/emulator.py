@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.node import (
@@ -88,6 +88,9 @@ class EvaluationRun:
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     #: Per-replay span tracer (``NullTracer`` when obs is disabled).
     tracer: object = None
+    #: The active :class:`repro.faults.injector.FaultInjector` when the
+    #: replay ran under a fault plan, else ``None``.
+    fault_injector: object = None
 
     # Wall clock is quarantined in nondeterministic gauges: it never
     # reaches deterministic snapshots, traces, or report tables.
@@ -120,14 +123,23 @@ class EvaluationRun:
 
 def replay(dataset: Dataset, observer: str = "live",
            config: Optional[ForerunnerConfig] = None,
-           speculation_tick: float = 2.0) -> EvaluationRun:
-    """Replay ``dataset`` through baseline + Forerunner nodes."""
+           speculation_tick: float = 2.0,
+           fault_plan=None) -> EvaluationRun:
+    """Replay ``dataset`` through baseline + Forerunner nodes.
+
+    ``fault_plan`` (a :class:`repro.faults.injector.FaultPlan`) runs
+    the Forerunner node under deterministic chaos; gossip-delivery
+    faults (drop / duplicate / reorder) are applied here, at the event
+    loop, where the message timeline lives.
+    """
     if observer not in dataset.tx_arrivals:
         raise SimulationError(
             f"dataset {dataset.name!r} has no observer {observer!r} "
             f"(has {sorted(dataset.tx_arrivals)})")
 
     config = config or ForerunnerConfig()
+    if fault_plan is not None:
+        config = _dc_replace(config, fault_plan=fault_plan)
     registry = MetricsRegistry()
     tracer = SpanTracer(registry) if config.enable_obs else NullTracer()
     baseline = BaselineNode(dataset.genesis_world.copy(),
@@ -161,12 +173,34 @@ def replay(dataset: Dataset, observer: str = "live",
 
     run = EvaluationRun(dataset_name=dataset.name, observer=observer,
                         registry=registry, tracer=tracer)
+    injector = forerunner.fault_injector
+    run.fault_injector = injector if injector.enabled else None
     kinds = dataset.kinds
     baseline_records: Dict[int, TxRecord] = {}
 
     while events:
         now, _, _, (kind, payload) = heapq.heappop(events)
-        if kind == "tx":
+        if kind == "tx" or kind == "tx-redelivery":
+            if kind == "tx" and injector.enabled:
+                rule = injector.evaluate("gossip.deliver",
+                                         tx=payload.hash)
+                if rule is not None:
+                    if rule.kind == "duplicate":
+                        # Deliver twice; the pool's dedup absorbs it.
+                        forerunner.on_transaction(payload, now)
+                    elif rule.kind == "reorder":
+                        # Redelivered events are never re-evaluated, so
+                        # a 100% reorder rate still terminates.
+                        counter += 1
+                        heapq.heappush(
+                            events,
+                            (now + rule.reorder_seconds(), 0, counter,
+                             ("tx-redelivery", payload)))
+                        continue
+                    else:
+                        # drop (and any raise-kind rule): the observer
+                        # never hears this transaction.
+                        continue
             forerunner.on_transaction(payload, now)
         elif kind == "tick":
             run.speculation_jobs += forerunner.run_speculation(now)

@@ -13,6 +13,7 @@ We model that expense in abstract *cost units* (the same currency as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 #: Cost units to load + decode one trie node from disk.
@@ -49,9 +50,16 @@ class DiskModel:
     account_depth: int = 6
     slot_depth: int = 4
     stats: IOStats = field(default_factory=IOStats)
+    #: Chaos hook (:mod:`repro.faults`): called before every *cold*
+    #: read — a disk walk — and may raise a transient storage error.
+    #: Only ever installed on speculative StateDBs, never on the
+    #: critical path; ``StateDB.fork`` children start with no hook.
+    fault_hook: Optional[Callable[[], None]] = None
 
     def charge_cold_account(self) -> int:
         """Cost of walking the account trie from disk."""
+        if self.fault_hook is not None:
+            self.fault_hook()
         cost = NODE_COST * self.account_depth
         self.stats.cold_account_loads += 1
         self.stats.cost_units += cost
@@ -59,6 +67,8 @@ class DiskModel:
 
     def charge_cold_slot(self) -> int:
         """Cost of walking one contract's storage trie from disk."""
+        if self.fault_hook is not None:
+            self.fault_hook()
         cost = NODE_COST * self.slot_depth
         self.stats.cold_slot_loads += 1
         self.stats.cost_units += cost

@@ -1,0 +1,136 @@
+"""Graceful-degradation sweeps (ISSUE satellite: fault-probability 0→1).
+
+For every injection site and for uniform all-site plans the properties
+under test are the paper's safety contract (§2, §7):
+
+* **No escape** — a replay under any plan completes without raising.
+* **Commitment equivalence** — committed state roots, receipts and the
+  Table 2/3 baseline columns are byte-identical to the fault-free run.
+* **Monotone degradation** — raising the fault probability can only
+  lose acceleration, collapsing toward ~1.0x at probability 1.0; sites
+  in :data:`LETHAL_SITES` reach exactly 1.0x there.
+* **Determinism** — two same-seed faulted replays produce identical
+  digests, metric snapshots and chaos reports.
+"""
+
+import pytest
+
+from repro.faults.injector import LETHAL_SITES, SITES, FaultPlan
+from repro.faults.invariants import (
+    check_equivalence,
+    digest_bytes,
+    run_digest,
+)
+from repro.obs.export import canonical_json
+from repro.p2p.latency import LatencyModel
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.workloads.mixed import TrafficConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = DatasetConfig(
+        name="chaos-sweep",
+        traffic=TrafficConfig(duration=20.0, seed=2021),
+        observers={"live": LatencyModel()}, seed=2021)
+    return record_dataset(config)
+
+
+@pytest.fixture(scope="module")
+def clean_run(dataset):
+    return replay(dataset, "live")
+
+
+def test_zero_probability_plan_changes_nothing(dataset, clean_run):
+    plan = FaultPlan.uniform(seed=1, probability=0.0)
+    report = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert report.ok, report.mismatches
+    assert report.faults_fired == 0
+    assert report.speedup_faulted == pytest.approx(report.speedup_clean)
+
+
+@pytest.mark.parametrize("site", SITES)
+def test_single_site_at_full_rate(site, dataset, clean_run):
+    """p=1.0 at one site: no escape, commitments identical; lethal
+    sites collapse the effective speedup to exactly baseline."""
+    plan = FaultPlan.uniform(seed=1, probability=1.0, sites=(site,))
+    report = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert report.ok, (site, report.mismatches)
+    assert report.faults_fired > 0, f"{site} never exercised"
+    if site in LETHAL_SITES:
+        assert report.speedup_faulted == pytest.approx(1.0), site
+    else:
+        assert report.speedup_faulted >= 1.0
+
+
+@pytest.mark.parametrize("probability", [0.05, 0.25, 0.6, 1.0])
+def test_uniform_rate_never_escapes(probability, dataset, clean_run):
+    plan = FaultPlan.uniform(seed=3, probability=probability)
+    report = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert report.ok, (probability, report.mismatches)
+
+
+def test_degradation_is_monotone_toward_baseline(dataset, clean_run):
+    """Sweeping the uniform fault rate 0→1 only ever loses speedup
+    (within a small jitter floor) and bottoms out at exactly 1.0x."""
+    rates = [0.0, 0.1, 0.3, 0.6, 1.0]
+    speedups = []
+    for rate in rates:
+        plan = FaultPlan.uniform(seed=3, probability=rate)
+        report = check_equivalence(dataset, plan, clean_run=clean_run)
+        assert report.ok, (rate, report.mismatches)
+        speedups.append(report.speedup_faulted)
+    assert speedups[0] == pytest.approx(report.speedup_clean)
+    assert speedups[-1] == pytest.approx(1.0)
+    # Seeded draws shuffle *which* txs fault, so allow a small jitter
+    # floor while requiring the overall trend to be non-increasing.
+    for earlier, later in zip(speedups, speedups[1:]):
+        assert later <= earlier * 1.05, speedups
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_seeded_random_plans_preserve_commitments(seed, dataset,
+                                                  clean_run):
+    plan = FaultPlan.seeded_random(seed=seed)
+    report = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert report.ok, (seed, report.mismatches)
+    assert report.speedup_retained > 0.0
+
+
+def test_same_seed_faulted_replays_are_byte_identical(dataset):
+    plan = FaultPlan.seeded_random(seed=0)
+    first = replay(dataset, "live", fault_plan=plan)
+    second = replay(dataset, "live", fault_plan=plan)
+    assert digest_bytes(first) == digest_bytes(second)
+    assert canonical_json(first.metrics()) == \
+        canonical_json(second.metrics())
+
+
+def test_report_payload_is_deterministic(dataset, clean_run):
+    plan = FaultPlan.seeded_random(seed=2)
+    a = check_equivalence(dataset, plan, clean_run=clean_run)
+    b = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert canonical_json(a.as_dict()) == canonical_json(b.as_dict())
+
+
+def test_full_rate_run_reports_containment(dataset, clean_run):
+    """With every pipeline site faulting at p=1.0 the guard visibly
+    absorbs the chaos: nothing reaches the caller.  (``gossip.deliver``
+    is excluded — dropping every message empties the pipeline, which
+    degrades gracefully but leaves the guard nothing to contain.)"""
+    sites = tuple(s for s in SITES if s != "gossip.deliver")
+    plan = FaultPlan.uniform(seed=7, probability=1.0, sites=sites)
+    report = check_equivalence(dataset, plan, clean_run=clean_run)
+    assert report.ok, report.mismatches
+    assert report.guard["contained"] > 0
+    assert report.guard["contained_unexpected"] == 0
+    assert report.speedup_faulted == pytest.approx(1.0)
+
+
+def test_digest_ignores_performance_fields(dataset, clean_run):
+    """The digest anchors commitments only: a faulted run with a
+    different speedup still digests identically."""
+    plan = FaultPlan.uniform(seed=5, probability=0.5)
+    faulted = replay(dataset, "live", fault_plan=plan)
+    assert run_digest(faulted) == run_digest(clean_run)

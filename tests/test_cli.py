@@ -72,3 +72,26 @@ def test_record_and_replay_roundtrip(tmp_path, capsys):
     assert "recorded" in out
     assert "roots matched" in out
     assert "effective speedup" in out
+
+
+def test_chaos_report(tmp_path, capsys):
+    json_out = str(tmp_path / "chaos.json")
+    assert main(["chaos", "--seed", "0", "--duration", "12",
+                 "--json-out", json_out]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan" in out
+    assert "equivalence      : OK" in out
+    assert "effective speedup" in out
+    import json
+    with open(json_out, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["ok"] is True
+    assert payload["dataset"] == "chaos"
+
+
+def test_chaos_full_rate_collapses_to_baseline(capsys):
+    assert main(["chaos", "--seed", "1", "--duration", "12",
+                 "--rate", "1.0"]) == 0
+    out = capsys.readouterr().out
+    assert "equivalence      : OK" in out
+    assert "faulted 1.000x" in out

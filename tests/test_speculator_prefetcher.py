@@ -99,6 +99,74 @@ class TestSpeculator:
         assert merged == 3
         assert len(speculator.get_ap(tx_e().hash).paths) == 3
 
+    def test_drop_releases_prefix_cache_pins(self):
+        """Regression: a transaction leaving the pipeline must not stay
+        pinned as a predecessor inside cached prefixes — each cached
+        prefix holds a frozen StateDB overlay (and the fork chain under
+        it) alive for no future benefit."""
+        speculator = Speculator(fresh_world())
+        predecessor = tx_e(sender=BOB, price=2060)
+        context = FutureContext(2, header(),
+                                predecessors=(predecessor,))
+        speculator.speculate(tx_e(), context)
+        cache = speculator.prefix_cache
+        assert any(predecessor.hash in key[7] for key in cache._entries)
+        speculator.drop(predecessor.hash)
+        assert not any(predecessor.hash in key[7]
+                       for key in cache._entries)
+        assert not any(predecessor.hash in key[7] for key in cache._seen)
+
+    def test_discard_releases_prefix_cache_pins(self):
+        speculator = Speculator(fresh_world())
+        predecessor = tx_e(sender=BOB, price=2060)
+        speculator.speculate(
+            tx_e(), FutureContext(2, header(),
+                                  predecessors=(predecessor,)))
+        speculator.discard(predecessor.hash)
+        assert not any(predecessor.hash in key[7]
+                       for key in speculator.prefix_cache._entries)
+
+    def test_speculate_contains_unexpected_stage_bugs(self, monkeypatch):
+        """Regression (ISSUE satellite): a genuine bug inside one
+        context's speculation is contained per-context — speculate
+        returns None, appends a failed record, and never escapes."""
+        speculator = Speculator(fresh_world())
+        monkeypatch.setattr(
+            "repro.core.speculator.trace_transaction",
+            lambda *a, **k: (_ for _ in ()).throw(
+                RuntimeError("stage bug")))
+        path = speculator.speculate(tx_e(), FutureContext(1, header()))
+        assert path is None
+        record = speculator.records[-1]
+        assert record.faulted is True
+        assert "stage bug" in record.error
+        assert speculator.guard.c_unexpected.value == 1
+
+    def test_speculate_many_survives_one_broken_context(self,
+                                                        monkeypatch):
+        """One broken context never aborts the batch: the other
+        contexts still merge and exactly one failed record is kept."""
+        from repro.core import speculator as spec_mod
+
+        real_trace = spec_mod.trace_transaction
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("context 2 exploded")
+            return real_trace(*args, **kwargs)
+
+        monkeypatch.setattr(spec_mod, "trace_transaction", flaky)
+        speculator = Speculator(fresh_world())
+        contexts = [FutureContext(i, header(3990462 + i))
+                    for i in range(1, 4)]
+        merged = speculator.speculate_many(tx_e(), contexts)
+        assert merged == 2
+        faulted = [r for r in speculator.records if r.faulted]
+        assert len(faulted) == 1
+        assert faulted[0].context_id == 2
+
 
 class TestPrefetcher:
     def test_prefetch_warms_node_cache(self):
