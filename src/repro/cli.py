@@ -15,6 +15,10 @@ Commands:
 * ``history``   — print the Figure 2 block-saturation series.
 * ``report``    — record + replay a workload and print the stage
   breakdown; ``--metrics`` dumps the deterministic metrics snapshot,
+  ``--sched`` adds the scheduler section (lane utilization, conflict
+  and abort rates, admission counters), ``--lanes N`` runs block
+  execution on N parallel lanes (commits stay byte-identical),
+  ``--json`` emits the whole report as canonical JSON, and
   ``--trace-out PATH`` writes the canonical JSONL trace (two runs of
   the same workload produce byte-identical files).
 """
@@ -191,8 +195,48 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_sched_report(sched: dict) -> None:
+    """Print the scheduler section (``report --sched``)."""
+    ex = sched.get("executor", {})
+    adm = sched.get("admission", {})
+    workers = sched.get("workers", {})
+    aborted = ex.get("aborted", {})
+    print(f"\nScheduler ({ex.get('lanes', 1)} lanes):")
+    print(f"  blocks: {ex.get('blocks', 0)} "
+          f"({ex.get('blocks_parallel', 0)} parallel), "
+          f"txs: {ex.get('transactions', 0)}")
+    print(f"  clean commits: {ex.get('clean_commits', 0)}, aborted: "
+          f"{aborted.get('conflict', 0)} conflict / "
+          f"{aborted.get('entangled', 0)} entangled / "
+          f"{aborted.get('faulted', 0)} faulted")
+    print(f"  conflict rate: {ex.get('conflict_rate', 0.0):.4%} "
+          f"({ex.get('conflict_pairs', 0)} of "
+          f"{ex.get('possible_pairs', 0)} pairs)")
+    print(f"  critical path: {ex.get('critical_path_units', 0):,} of "
+          f"{ex.get('serial_cost_units', 0):,} serial units "
+          f"({ex.get('speedup', 1.0):.2f}x)")
+    utils = [b["lane_utilization_permille"]
+             for b in sched.get("blocks", []) if b.get("lanes", 1) > 1]
+    if utils:
+        flat = [u for block in utils for u in block]
+        print(f"  lane utilization: {sum(flat) // len(flat)} permille "
+              f"mean over {len(utils)} parallel blocks")
+    jobs = workers.get("jobs", [])
+    print(f"  speculation lanes: {workers.get('lanes', 0)}, "
+          f"jobs: {sum(jobs)}")
+    prefetch = adm.get("prefetch", {})
+    print(f"  admission: {adm.get('admitted', 0)} admitted / "
+          f"{adm.get('dispatched', 0)} dispatched / "
+          f"{adm.get('deferred', 0)} deferred / "
+          f"{adm.get('dropped', 0)} dropped / "
+          f"{adm.get('capped', 0)} capped")
+    print(f"  prefetch queue: {prefetch.get('queued', 0)} queued / "
+          f"{prefetch.get('drained', 0)} drained / "
+          f"{prefetch.get('dropped', 0)} dropped")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs.export import export_jsonl
+    from repro.obs.export import canonical_json, export_jsonl
     from repro.p2p.latency import LatencyModel
     from repro.sim.emulator import replay
     from repro.sim.recorder import DatasetConfig, record_dataset
@@ -204,13 +248,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
         observers={"live": LatencyModel()},
         seed=args.seed)
     dataset = record_dataset(config)
-    run = replay(dataset, args.observer)
+    run = replay(dataset, args.observer, lanes=args.lanes)
+    if args.as_json:
+        payload = {
+            "dataset": dataset.name,
+            "observer": run.observer,
+            "seed": args.seed,
+            "duration": args.duration,
+            "txs": len(run.records),
+            "roots_matched": run.roots_matched,
+            "blocks_executed": run.blocks_executed,
+            "stages": run.tracer.stage_totals(),
+        }
+        if args.sched:
+            payload["sched"] = run.sched
+        print(canonical_json(payload))
+        return 0
     print(f"dataset {dataset.name}: {len(run.records)} txs, "
           f"roots matched {run.roots_matched}/{run.blocks_executed}")
     print("\nStage breakdown (logical cost units):")
     for name, entry in run.tracer.stage_totals().items():
         print(f"  {name:<20} {entry['count']:>7} spans  "
               f"{entry['cost']:>14,} units")
+    if args.sched:
+        _print_sched_report(run.sched)
     if args.metrics:
         print("\nMetrics snapshot (deterministic instruments):")
         for line in run.registry.render().splitlines():
@@ -331,6 +392,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--observer", default="live")
     report.add_argument("--metrics", action="store_true",
                         help="print the deterministic metrics snapshot")
+    report.add_argument("--sched", action="store_true",
+                        help="print the scheduler section: lane "
+                             "utilization, conflict/abort rates, "
+                             "admission drop/defer counters")
+    report.add_argument("--lanes", type=int, default=None,
+                        help="parallel execution lanes for block "
+                             "processing (commits stay byte-identical)")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as canonical JSON "
+                             "(byte-identical for a given seed)")
     report.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the canonical JSONL trace here")
     report.set_defaults(func=_cmd_report)

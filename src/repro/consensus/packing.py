@@ -15,6 +15,18 @@ from repro.chain.transaction import Transaction
 from repro.constants import DEFAULT_BLOCK_GAS_LIMIT
 
 
+def priority_key(tx: Transaction, miner_id: Optional[int] = None
+                 ) -> tuple:
+    """The deterministic fee-priority currency shared by block packing
+    and speculation admission (:mod:`repro.sched.admission`): miner
+    self-priority first, then descending gas price.  Sorting by this
+    key (plus a tiebreak of the caller's choice) ranks transactions
+    exactly as a miner would pack them."""
+    own = 1 if (miner_id is not None
+                and tx.origin_miner == miner_id) else 0
+    return (-own, -tx.gas_price)
+
+
 def pack_block(
     candidates: Iterable[Transaction],
     next_nonces: Dict[int, int],
@@ -33,9 +45,7 @@ def pack_block(
     exclude = exclude or set()
 
     def sort_key(tx: Transaction):
-        own = 1 if (miner_id is not None
-                    and tx.origin_miner == miner_id) else 0
-        return (-own, -tx.gas_price, rng.random())
+        return priority_key(tx, miner_id) + (rng.random(),)
 
     ranked = sorted(
         (tx for tx in candidates if tx.hash not in exclude),

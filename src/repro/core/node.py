@@ -32,6 +32,9 @@ from repro.faults.guard import SpeculationGuard
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import NullTracer, SpanTracer
+from repro.sched.admission import AdmissionController
+from repro.sched.executor import ParallelBlockExecutor
+from repro.sched.lanes import LaneSet, SchedConfig
 from repro.state.nodecache import NodeCache
 from repro.state.statedb import StateDB
 from repro.state.world import WorldState
@@ -69,6 +72,9 @@ class BlockReport:
     block_number: int
     state_root: int
     records: List[TxRecord] = field(default_factory=list)
+    #: Scheduler outcome for this block (``None`` on the baseline node):
+    #: lane utilization, conflict rate, abort counts, critical path.
+    sched: Optional[dict] = None
 
 
 class BaselineNode:
@@ -158,6 +164,11 @@ class ForerunnerConfig:
     #: injector; the guard/breaker machinery is always active either
     #: way, so real faults degrade gracefully too.
     fault_plan: object = None
+    #: Concurrency scheduler (repro.sched): parallel execution lanes,
+    #: admission budgets, and the bounded prefetch queue.  Any lane
+    #: count commits byte-identical state; parallelism shows up only in
+    #: the scheduler's own critical-path metrics.
+    sched: SchedConfig = field(default_factory=SchedConfig)
 
 
 class ForerunnerNode:
@@ -224,15 +235,51 @@ class ForerunnerNode:
         self.executed: set = set()
         self._pool_version = 0
         self._last_spec_state: Tuple[int, int] = (-1, -1)
-        #: Per (tx, head) speculation counters.
-        self._spec_counts: Dict[Tuple[int, int], int] = {}
-        self._total_spec: Dict[int, int] = {}
-        #: Worker availability times (simulated seconds).
-        self._workers = [0.0] * self.config.workers
+        # Speculation dispatch goes through admission control: scoring,
+        # per-(tx, head)/total caps, per-head budgets, bounded deferral
+        # and the bounded prefetch queue all live there.
+        self.admission = AdmissionController(
+            self.config.sched,
+            max_contexts_per_head=self.config.max_contexts_per_head,
+            max_total_contexts=self.config.max_total_contexts,
+            registry=self.registry,
+            injector=self.fault_injector,
+            breaker=self.guard.breaker)
+        #: Simulated speculation worker pool: one lane per worker,
+        #: clocks in simulated seconds (same dispatch rule the scalar
+        #: pool used: least-loaded lane, ties to the lowest id).
+        self._worker_lanes = LaneSet(self.config.workers)
+        #: Conflict-aware parallel block executor (``lanes=1`` is the
+        #: exact legacy serial loop).
+        self.executor = ParallelBlockExecutor(
+            lanes=self.config.sched.lanes,
+            registry=self.registry,
+            injector=self.fault_injector,
+            guard=self.guard)
         self.head_number = 0
+        #: Simulated time of the block currently being processed (the
+        #: executor's per-tx strategy reads it for AP readiness).
+        self._block_now = 0.0
         #: Transactions whose AP merge produced a first-context record
         #: (for the single-future comparator): tx -> first context id.
         self.first_context: Dict[int, int] = {}
+
+    # -- compatibility views over the admission/lane state ---------------------
+
+    @property
+    def _workers(self) -> List[float]:
+        """Simulated worker availability times (lane clocks)."""
+        return [lane.clock for lane in self._worker_lanes.lanes]
+
+    @property
+    def _spec_counts(self) -> Dict[Tuple[int, int], int]:
+        """Per (tx, head) speculation counters (admission-owned)."""
+        return self.admission.spec_counts
+
+    @property
+    def _total_spec(self) -> Dict[int, int]:
+        """Per-tx total speculation counters (admission-owned)."""
+        return self.admission.total_spec
 
     # -- dissemination ---------------------------------------------------------
 
@@ -274,10 +321,11 @@ class ForerunnerNode:
         ``ready_at`` reflects when its last merge would really finish.
         Returns the number of pre-executions performed.
         """
-        if not self.pool:
+        if not self.pool and not self.admission.has_backlog():
             return 0
         state_key = (self.head_number, self._pool_version)
-        if state_key == self._last_spec_state:
+        if state_key == self._last_spec_state \
+                and not self.admission.has_backlog():
             return 0  # nothing changed since the last cycle
         self._last_spec_state = state_key
         self.c_spec_cycles.inc()
@@ -289,71 +337,94 @@ class ForerunnerNode:
             lambda: self.predictor.predict(
                 pending, block_gas_limit=15_000_000),
             fallback=None)
-        if prediction is None:
-            return 0
+        candidates: List[Tuple[Transaction, list]] = []
+        if prediction is not None:
+            candidates = [(tx, prediction.contexts.get(tx.hash, []))
+                          for tx in prediction.candidates]
+        # Admission: score (hit-likelihood x gas price), order, apply
+        # the context caps / per-head budget / queue bound, re-admit
+        # deferred carry-over.  A contained admission fault skips the
+        # whole cycle (no speculation, nothing else lost).
+        admitted, _ = self.guard.run(
+            "sched.admit",
+            lambda: self.admission.admit(candidates, self.head_number),
+            fallback=[], count_fallback=False)
         jobs = 0
         deadline = now + budget_seconds if budget_seconds else None
-        for tx in prediction.candidates:
-            head_key = (tx.hash, self.head_number)
-            done_here = self._spec_counts.get(head_key, 0)
-            done_total = self._total_spec.get(tx.hash, 0)
-            if done_here >= self.config.max_contexts_per_head:
+        lanes = self._worker_lanes
+        for request in admitted or []:
+            # Deferred requests were admitted a cycle ago: re-check the
+            # caps, which may have filled since.
+            if not self.admission.allows_dispatch(request):
                 continue
-            if done_total >= self.config.max_total_contexts:
+            lane = lanes.least_loaded()
+            start = max(now, lane.clock)
+            if deadline is not None and start >= deadline:
+                # Out of cycle budget: carry the request over instead
+                # of silently skipping it.
+                self.admission.defer([request], self.head_number)
                 continue
-            # Per-contract circuit breaker: after repeated speculation
-            # faults for a contract, stop speculating on it until the
-            # cost-unit cool-down expires (half-open probe after that).
-            if not self.guard.breaker.allows(tx.to):
+            if start - now > self.config.sched.max_lane_backlog_seconds:
+                # Backpressure: every lane is backlogged beyond the
+                # configured horizon; don't pile further work on.
+                self.admission.defer([request], self.head_number)
                 continue
-            contexts = prediction.contexts.get(tx.hash, [])
-            for context in contexts[:self.config.max_contexts_per_head
-                                    - done_here]:
-                worker = min(range(len(self._workers)),
-                             key=lambda i: self._workers[i])
-                start = max(now, self._workers[worker])
-                if deadline is not None and start >= deadline:
-                    break
-                # Workers are scheduled by the *logical* cost — what an
-                # uncached speculator would pay — so AP readiness (and
-                # with it every Table 2/3 number) is identical whether
-                # the prefix cache / synthesis dedup are on or off; the
-                # actual (cheaper) cost feeds §5.6 accounting instead.
-                cost_before = self.speculator.total_logical_cost
-                path = self.speculator.speculate(tx, context)
-                job_cost = (self.speculator.total_logical_cost
-                            - cost_before)
-                # Chaos: a stalled worker "timeout" adds cost units to
-                # this job's schedule, delaying when its AP is ready.
-                job_cost += self.fault_injector.stall_units(tx=tx.hash)
-                finish = start + job_cost / self.config.worker_speed
-                self._workers[worker] = finish
-                jobs += 1
-                self._spec_counts[head_key] = \
-                    self._spec_counts.get(head_key, 0) + 1
-                self._total_spec[tx.hash] = \
-                    self._total_spec.get(tx.hash, 0) + 1
-                if path is not None:
-                    ap = self.speculator.get_ap(tx.hash)
-                    if ap is not None:
-                        if ap.ready_at == 0.0 or len(ap.paths) == 1:
-                            # First successful merge decides readiness;
-                            # later merges refine an already-usable AP.
-                            ap.ready_at = finish
-                        self.first_context.setdefault(
-                            tx.hash, context.context_id)
-                        if self.config.enable_prefetch:
-                            # Contained: a prefetch fault leaves the
-                            # keys cold (slower reads, same values).
-                            self.guard.run(
-                                "prefetcher.prefetch",
-                                lambda ap=ap, tx=tx:
-                                    self.prefetcher.prefetch(
-                                        ap.prefetch_keys,
-                                        tx_sender=tx.sender,
-                                        tx_to=tx.to),
-                                count_fallback=False)
+            tx, context = request.tx, request.context
+            # Workers are scheduled by the *logical* cost — what an
+            # uncached speculator would pay — so AP readiness (and
+            # with it every Table 2/3 number) is identical whether
+            # the prefix cache / synthesis dedup are on or off; the
+            # actual (cheaper) cost feeds §5.6 accounting instead.
+            cost_before = self.speculator.total_logical_cost
+            path = self.speculator.speculate(tx, context)
+            job_cost = (self.speculator.total_logical_cost
+                        - cost_before)
+            # Chaos: a stalled worker "timeout" adds cost units to
+            # this job's schedule, delaying when its AP is ready.
+            job_cost += self.fault_injector.stall_units(tx=tx.hash)
+            completion = lanes.dispatch(
+                job_cost / self.config.worker_speed,
+                not_before=now, payload=tx.hash)
+            jobs += 1
+            self.admission.note_dispatched(request)
+            # Feed the hit-likelihood estimator: a merged path means
+            # this contract's speculations are landing.
+            self.admission.observe(tx.to, path is not None)
+            if path is not None:
+                ap = self.speculator.get_ap(tx.hash)
+                if ap is not None:
+                    if ap.ready_at == 0.0 or len(ap.paths) == 1:
+                        # First successful merge decides readiness;
+                        # later merges refine an already-usable AP.
+                        ap.ready_at = completion.finish
+                    self.first_context.setdefault(
+                        tx.hash, context.context_id)
+                    if self.config.enable_prefetch:
+                        self.admission.queue_prefetch(
+                            ap.prefetch_keys, tx_sender=tx.sender,
+                            tx_to=tx.to, score=request.score)
+        self._drain_prefetch_queue()
         return jobs
+
+    def _drain_prefetch_queue(self) -> None:
+        """Drain the bounded prefetch queue (FIFO, so cost accounting
+        matches the legacy immediate-prefetch order)."""
+        limit = self.config.sched.prefetch_drain_per_cycle
+        for request in self.admission.drain_prefetches(limit):
+            # Chaos: a queue fault drops the request — the keys stay
+            # cold (slower reads, same values).
+            if self.fault_injector.evaluate(
+                    "sched.prefetch_queue",
+                    tx_sender=request.tx_sender) is not None:
+                continue
+            # Contained: a prefetch fault leaves the keys cold.
+            self.guard.run(
+                "prefetcher.prefetch",
+                lambda request=request: self.prefetcher.prefetch(
+                    request.keys,
+                    tx_sender=request.tx_sender,
+                    tx_to=request.tx_to),
+                count_fallback=False)
 
     # -- execution (the critical path) ----------------------------------------------
 
@@ -386,29 +457,52 @@ class ForerunnerNode:
             receipt.perfect_context_ids = ()
         return receipt
 
+    def _execute_one(self, tx: Transaction, block: Block,
+                     state: StateDB):
+        """The node's per-transaction execution strategy (the executor
+        calls this for optimistic forks and serial runs alike)."""
+        ap = self.speculator.get_ap(tx.hash)
+        if ap is not None and ap.root is not None and ap.ready_at <= \
+                self._block_now:
+            return self._execute_accelerated(tx, block, state, ap)
+        return self.accelerator.execute(tx, block.header, state, None)
+
     def process_block(self, block: Block, now: float = 0.0) -> BlockReport:
-        """Execute a freshly decided block through the accelerator."""
+        """Execute a freshly decided block through the accelerator.
+
+        Transactions run through the conflict-aware parallel executor
+        (``config.sched.lanes`` virtual lanes); committed state,
+        receipts and all Table 2/3 numbers are byte-identical to serial
+        execution at every lane count — parallelism surfaces only in
+        the ``sched.*`` metrics attached to the report.
+        """
         self.predictor.observe_block(block)
         self.head_number = block.number
+        self._block_now = now
         state = StateDB(self.world, node_cache=self.node_cache)
         records: List[TxRecord] = []
-        for tx in block.transactions:
+        outcomes = self.executor.execute_block(
+            block, state, list(block.transactions),
+            lambda tx, exec_state: self._execute_one(
+                tx, block, exec_state))
+        for outcome in outcomes:
+            tx = outcome.tx
+            receipt = outcome.receipt
             heard_time = self.heard.get(tx.hash)
             heard = heard_time is not None
             ap = self.speculator.get_ap(tx.hash)
             ap_ready = (ap is not None and ap.root is not None
                         and ap.ready_at <= now)
+            # Spans are emitted in commit (block) order with the
+            # canonical (serial-equivalent) costs, so traces look the
+            # same at every lane count apart from the lane annotations.
             with self.tracer.span("execute", tx=f"{tx.hash:#x}",
                                   block=block.number,
                                   ap_ready=ap_ready) as span:
-                if ap_ready:
-                    receipt = self._execute_accelerated(
-                        tx, block, state, ap)
-                else:
-                    receipt = self.accelerator.execute(
-                        tx, block.header, state, None)
                 span.add_cost(receipt.tally.total)
-                span.set(outcome=receipt.outcome)
+                span.set(outcome=receipt.outcome,
+                         lane=outcome.lane_id,
+                         aborted=outcome.aborted)
             cost = receipt.tally.total
             if not heard:
                 # Forerunner's bookkeeping slows unheard transactions
@@ -459,6 +553,27 @@ class ForerunnerNode:
             raise ChainError(
                 f"state root mismatch at block {block.number}: "
                 f"{root:#x} != {block.state_root:#x}")
-        report = BlockReport(block.number, root, records)
+        report = BlockReport(block.number, root, records,
+                             sched=self.executor.schedules[-1].as_dict()
+                             if self.executor.schedules else None)
         self.reports.append(report)
         return report
+
+    # -- scheduler reporting ---------------------------------------------------
+
+    def sched_report(self) -> dict:
+        """Canonical scheduler report: parallel-executor aggregates,
+        admission/backpressure counters, and worker-lane state."""
+        return {
+            "executor": self.executor.report(),
+            "admission": self.admission.snapshot(),
+            "workers": {
+                "lanes": len(self._worker_lanes),
+                "clocks": [round(clock, 6)
+                           for clock in self._worker_lanes.clocks],
+                "jobs": [lane.jobs
+                         for lane in self._worker_lanes.lanes],
+            },
+            "blocks": [schedule.as_dict()
+                       for schedule in self.executor.schedules],
+        }

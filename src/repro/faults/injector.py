@@ -88,6 +88,18 @@ SITE_KINDS: Dict[str, str] = {
     "worker.stall": KIND_STALL,
     "storage.read": KIND_STORAGE,
     "accelerator.execute": KIND_RAISE,
+    # Concurrency scheduler (repro.sched).  Containments: an admission
+    # fault skips the speculation cycle; a fork fault aborts that
+    # transaction to the serial path; a conflict-scan fault aborts the
+    # whole block to serial; a commit fault reverts the partial apply
+    # and re-executes serially; a prefetch-queue fault drops the
+    # request (colder reads, same values).  None of them can change
+    # committed state.
+    "sched.admit": KIND_RAISE,
+    "sched.fork": KIND_RAISE,
+    "sched.conflict_scan": KIND_RAISE,
+    "sched.commit": KIND_RAISE,
+    "sched.prefetch_queue": KIND_DROP,
 }
 
 SITES: Tuple[str, ...] = tuple(SITE_KINDS)
@@ -103,6 +115,7 @@ LETHAL_SITES: Tuple[str, ...] = (
     "speculator.merge",
     "gossip.deliver",
     "storage.read",
+    "sched.admit",
 )
 
 

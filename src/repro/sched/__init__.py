@@ -1,0 +1,54 @@
+"""Deterministic speculative-concurrency scheduler (ISSUE 4).
+
+Forerunner's speedup depends on speculation running concurrently with
+non-speculative work on spare cores (paper §2, §6).  This package
+reproduces that concurrency *deterministically*: N virtual worker lanes
+advance logical-cost clocks merged by a fixed event order, an
+optimistic-concurrency block executor runs a block's transactions in
+parallel lanes against forked StateDBs (Saraph & Herlihy-style
+conflict detection, serial re-execution of losers), and an admission
+controller bounds and prioritizes speculation dispatch.  Any lane count
+yields byte-identical committed roots, receipts and Table 2/3 columns;
+parallelism surfaces only in the scheduler's own metrics (critical-path
+cost units, lane utilization, conflict/abort rates).
+"""
+
+from repro.sched.admission import (
+    AdmissionController,
+    HitLikelihoodEstimator,
+    PrefetchRequest,
+    SpeculationRequest,
+)
+from repro.sched.conflicts import (
+    AccessSet,
+    ConflictGraph,
+    GreedySchedule,
+    build_conflict_graph,
+    greedy_schedule,
+)
+from repro.sched.executor import (
+    BlockSchedule,
+    ParallelBlockExecutor,
+    TrackingState,
+    TxOutcome,
+)
+from repro.sched.lanes import Lane, LaneSet, SchedConfig
+
+__all__ = [
+    "AccessSet",
+    "AdmissionController",
+    "BlockSchedule",
+    "ConflictGraph",
+    "GreedySchedule",
+    "HitLikelihoodEstimator",
+    "Lane",
+    "LaneSet",
+    "ParallelBlockExecutor",
+    "PrefetchRequest",
+    "SchedConfig",
+    "SpeculationRequest",
+    "TrackingState",
+    "TxOutcome",
+    "build_conflict_graph",
+    "greedy_schedule",
+]

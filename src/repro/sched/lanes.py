@@ -1,0 +1,159 @@
+"""Virtual worker lanes with deterministic logical-cost clocks.
+
+A :class:`LaneSet` models N parallel workers without threads: each lane
+owns a monotone clock in whatever deterministic currency the caller
+uses (cost units for the block executor, simulated seconds for the
+speculation worker pool).  Dispatch always picks the lane with the
+lowest clock, breaking ties by lane id, and completion order is the
+merged event order ``(finish, lane_id, seq)`` — so scheduling decisions
+depend only on the dispatch sequence, never on host concurrency, and
+any lane count replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class SchedConfig:
+    """Tunables for the concurrency scheduler (node-level)."""
+
+    #: Parallel execution lanes for block processing.  1 = serial
+    #: (legacy behaviour); any value yields byte-identical commitments.
+    lanes: int = 4
+    #: Admission: hard cap on speculation jobs dispatched per head.
+    #: Generous by default (the per-tx context caps bind first in the
+    #: simulated workloads) but a real bound under tx floods.
+    max_jobs_per_head: int = 4096
+    #: Admission: max requests dispatched in one speculation cycle;
+    #: overflow is deferred (up to ``defer_capacity``), then dropped.
+    queue_capacity: int = 1024
+    #: Admission: bounded carry-over queue between cycles.
+    defer_capacity: int = 2048
+    #: Backpressure: defer dispatch once the least-loaded worker lane
+    #: is backlogged further than this many simulated seconds.
+    max_lane_backlog_seconds: float = 120.0
+    #: Bounded prefetch request queue (satellite: prefetch can no
+    #: longer grow unboundedly ahead of the speculator).
+    prefetch_queue_capacity: int = 4096
+    #: Max prefetch requests drained per speculation cycle
+    #: (None = drain everything queued).
+    prefetch_drain_per_cycle: Optional[int] = None
+
+
+@dataclass
+class Lane:
+    """One virtual worker: a logical clock plus utilization counters."""
+
+    lane_id: int
+    clock: float = 0.0
+    busy: float = 0.0
+    jobs: int = 0
+
+    def advance(self, start: float, cost: float) -> float:
+        """Run one job of ``cost`` at ``start``; returns the finish."""
+        finish = start + cost
+        self.clock = finish
+        self.busy += cost
+        self.jobs += 1
+        return finish
+
+
+@dataclass
+class Completion:
+    """One finished job in merged (deterministic) completion order."""
+
+    seq: int
+    lane_id: int
+    start: float
+    finish: float
+    cost: float
+    payload: object = None
+
+
+class LaneSet:
+    """N deterministic lanes merged by (clock, lane id).
+
+    The same selection rule the legacy scalar worker pool used —
+    ``min(availability, index)`` — generalized and shared by the
+    speculation worker pool (float seconds) and the parallel block
+    executor (integer cost units).
+    """
+
+    def __init__(self, count: int, start: float = 0.0) -> None:
+        if count < 1:
+            raise ValueError("a LaneSet needs at least one lane")
+        self.lanes: List[Lane] = [Lane(i, clock=start) for i in range(count)]
+        self._origin = start
+        self._seq = 0
+        self.completions: List[Completion] = []
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    # -- deterministic selection ----------------------------------------
+
+    def least_loaded(self) -> Lane:
+        """Lane with the lowest clock; ties break by lane id."""
+        return min(self.lanes, key=lambda lane: (lane.clock, lane.lane_id))
+
+    def dispatch(self, cost: float, not_before: float = 0.0,
+                 payload: object = None) -> Completion:
+        """Assign one job to the least-loaded lane.
+
+        The job starts at ``max(not_before, lane.clock)`` — exactly the
+        legacy worker-pool rule — and the completion record is appended
+        in dispatch order (replaying dispatches replays completions).
+        """
+        lane = self.least_loaded()
+        start = max(not_before, lane.clock)
+        finish = lane.advance(start, cost)
+        completion = Completion(seq=self._seq, lane_id=lane.lane_id,
+                                start=start, finish=finish, cost=cost,
+                                payload=payload)
+        self._seq += 1
+        self.completions.append(completion)
+        return completion
+
+    # -- merged event order ---------------------------------------------
+
+    def merged_completions(self) -> List[Completion]:
+        """Completions in the deterministic merged event order
+        ``(finish, lane_id, seq)`` — the scheduler's "event loop"."""
+        return sorted(self.completions,
+                      key=lambda c: (c.finish, c.lane_id, c.seq))
+
+    # -- aggregate views -------------------------------------------------
+
+    @property
+    def clocks(self) -> List[float]:
+        return [lane.clock for lane in self.lanes]
+
+    def makespan(self) -> float:
+        """Span from the origin to the last lane's clock."""
+        return max(lane.clock for lane in self.lanes) - self._origin
+
+    def busy_total(self) -> float:
+        return sum(lane.busy for lane in self.lanes)
+
+    def utilization_permille(self) -> int:
+        """Aggregate busy / (lanes × makespan), in permille (int: safe
+        for deterministic metric snapshots)."""
+        span = self.makespan()
+        if span <= 0:
+            return 0
+        capacity = span * len(self.lanes)
+        return int(round(1000 * self.busy_total() / capacity))
+
+    def lane_utilization_permille(self) -> List[int]:
+        span = self.makespan()
+        if span <= 0:
+            return [0] * len(self.lanes)
+        return [int(round(1000 * lane.busy / span)) for lane in self.lanes]
+
+    def snapshot(self) -> List[Tuple[int, float, int]]:
+        """Deterministic (lane_id, clock, jobs) view for reports."""
+        return [(lane.lane_id, lane.clock, lane.jobs)
+                for lane in self.lanes]

@@ -83,6 +83,9 @@ class EvaluationRun:
     speculation_jobs: int = 0
     total_speculation_cost: int = 0
     prefetch_offpath_cost: int = 0
+    #: Scheduler payload (``ForerunnerNode.sched_report()``): executor
+    #: aggregates, admission counters, per-block schedules.
+    sched: dict = field(default_factory=dict)
     forerunner_node: Optional[ForerunnerNode] = None
     #: Per-replay metrics registry (fresh per run: names are stable).
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
@@ -124,13 +127,18 @@ class EvaluationRun:
 def replay(dataset: Dataset, observer: str = "live",
            config: Optional[ForerunnerConfig] = None,
            speculation_tick: float = 2.0,
-           fault_plan=None) -> EvaluationRun:
+           fault_plan=None,
+           lanes: Optional[int] = None) -> EvaluationRun:
     """Replay ``dataset`` through baseline + Forerunner nodes.
 
     ``fault_plan`` (a :class:`repro.faults.injector.FaultPlan`) runs
     the Forerunner node under deterministic chaos; gossip-delivery
     faults (drop / duplicate / reorder) are applied here, at the event
     loop, where the message timeline lives.
+
+    ``lanes`` overrides ``config.sched.lanes`` (parallel execution
+    lanes for block processing); any value commits byte-identical
+    state — only the ``run.sched`` critical-path metrics change.
     """
     if observer not in dataset.tx_arrivals:
         raise SimulationError(
@@ -140,6 +148,9 @@ def replay(dataset: Dataset, observer: str = "live",
     config = config or ForerunnerConfig()
     if fault_plan is not None:
         config = _dc_replace(config, fault_plan=fault_plan)
+    if lanes is not None:
+        config = _dc_replace(
+            config, sched=_dc_replace(config.sched, lanes=lanes))
     registry = MetricsRegistry()
     tracer = SpanTracer(registry) if config.enable_obs else NullTracer()
     baseline = BaselineNode(dataset.genesis_world.copy(),
@@ -253,5 +264,6 @@ def replay(dataset: Dataset, observer: str = "live",
 
     run.total_speculation_cost = forerunner.speculator.total_speculation_cost
     run.prefetch_offpath_cost = forerunner.prefetcher.offpath_cost
+    run.sched = forerunner.sched_report()
     run.forerunner_node = forerunner
     return run

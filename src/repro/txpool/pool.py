@@ -11,6 +11,7 @@ import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.transaction import Transaction
+from repro.consensus.packing import priority_key
 from repro.obs.registry import MetricsRegistry, get_registry
 
 
@@ -95,14 +96,15 @@ class TxPool:
         Ties break randomly (geth packs same-price transactions in
         random order), and a miner's own transactions sort first when
         ``prioritize_miner`` is given — the two packing heuristics the
-        predictor simulates (paper §4.4).
+        predictor simulates (paper §4.4).  The deterministic prefix of
+        the key is :func:`repro.consensus.packing.priority_key`, the
+        same fee-priority currency block packing and speculation
+        admission (:mod:`repro.sched.admission`) rank by.
         """
         rng = rng or random.Random(0)
 
         def key(tx: Transaction):
-            own = 1 if (prioritize_miner is not None
-                        and tx.origin_miner == prioritize_miner) else 0
-            return (-own, -tx.gas_price, rng.random())
+            return priority_key(tx, prioritize_miner) + (rng.random(),)
 
         return sorted(self._by_hash.values(), key=key)
 
