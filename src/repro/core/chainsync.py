@@ -34,7 +34,8 @@ class ChainManager:
     """
 
     def __init__(self, node, genesis: Block,
-                 snapshot_depth: int = 8) -> None:
+                 snapshot_depth: int = 8,
+                 journal=None) -> None:
         if genesis.state_root is None:
             genesis.state_root = node.world.root()
         self.node = node
@@ -44,6 +45,11 @@ class ChainManager:
         self._snapshot(genesis)
         self.reorgs = 0
         self.blocks_reexecuted = 0
+        #: Optional :class:`repro.recovery.journal.JournalWriter`: when
+        #: wired, branch switches become durable ``reorg`` records, so a
+        #: node crashing mid-reorg can tell on restart which timeline
+        #: its snapshot belongs to.
+        self.journal = journal
 
     # -- internals ----------------------------------------------------------
 
@@ -59,14 +65,10 @@ class ChainManager:
                 f"reorg beyond snapshot depth (fork point "
                 f"{block_hash:#x} not retained)")
         # Replace the node's world contents in place: every component
-        # holding a reference (speculator, prefetcher) keeps working.
-        accounts = self.node.world.accounts()
-        accounts.clear()
-        accounts.update(snapshot.copy().accounts())
-        # In-place restore bypasses WorldState.apply; bump the version
-        # ourselves so version-keyed overlay caches cannot serve state
-        # from the abandoned branch.
-        self.node.world.version += 1
+        # holding a reference (speculator, prefetcher) keeps working,
+        # and the version bump keeps version-keyed overlay caches from
+        # serving state of the abandoned branch.
+        self.node.world.replace_contents(snapshot)
 
     def _branch_to(self, block: Block):
         """(branch blocks, fork point): the path from the nearest
@@ -117,6 +119,14 @@ class ChainManager:
         # Reorg: restore the fork point, replay the winning branch.
         self.reorgs += 1
         branch, fork_point = self._branch_to(block)
+        if self.journal is not None:
+            self.journal.append("reorg", {
+                "old_head": f"{old_head.hash:#x}",
+                "new_head": f"{block.hash:#x}",
+                "fork_point": f"{fork_point.hash:#x}",
+                "fork_number": fork_point.number,
+                "branch_length": len(branch),
+            }, sync=True)
         self._restore(fork_point.hash)
         on_reorg = getattr(self.node, "on_reorg", None)
         if on_reorg is not None:

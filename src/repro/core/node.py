@@ -159,6 +159,11 @@ class ForerunnerConfig:
     #: Bound on cached trace fingerprints per transaction (synthesis
     #: dedup LRU).
     dedup_capacity_per_tx: int = 16
+    #: Bound on memoized accelerated programs (deterministic LRU; the
+    #: default is far above any evaluation-sized pool, so Tables 2/3
+    #: are byte-identical to the unbounded seed — only a long-running
+    #: live node ever evicts).
+    memo_capacity: int = 4096
     #: Chaos testing: a :class:`repro.faults.injector.FaultPlan` to run
     #: the node under.  ``None`` (the default) installs the no-op
     #: injector; the guard/breaker machinery is always active either
@@ -218,6 +223,7 @@ class ForerunnerNode:
             enable_synth_dedup=self.config.enable_synth_dedup,
             prefix_cache_capacity=self.config.prefix_cache_capacity,
             dedup_capacity_per_tx=self.config.dedup_capacity_per_tx,
+            memo_capacity=self.config.memo_capacity,
             registry=self.registry,
             tracer=self.tracer,
             injector=self.fault_injector,
@@ -302,8 +308,23 @@ class ForerunnerNode:
 
     def requeue(self, tx: Transaction, now: float) -> None:
         """Return an abandoned (reorged-out) transaction to the pool,
-        preserving its original heard time."""
+        preserving its original heard time.
+
+        The transaction re-enters speculation *from scratch* on the new
+        branch: its admission counters, first-context bookkeeping, any
+        deferred speculation requests and its AP are all dropped — they
+        were produced against heads of the abandoned branch, so reusing
+        them would speculate (and score priorities) against stale
+        state.  The cleared caps also mean the predictor can re-admit
+        it under the winning head instead of finding it capped out.
+        """
         self.executed.discard(tx.hash)
+        # Stale speculation capital: the AP (and its fingerprints) were
+        # synthesized against abandoned-branch contexts; discard rather
+        # than drop so §5.5 aggregates don't count dead-branch work.
+        self.speculator.discard(tx.hash)
+        self.first_context.pop(tx.hash, None)
+        self.admission.release(tx.hash)
         if tx.hash in self.pool:
             return
         heard_time = self.heard.get(tx.hash, now)

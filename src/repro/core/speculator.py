@@ -200,6 +200,7 @@ class Speculator:
                  enable_synth_dedup: bool = True,
                  prefix_cache_capacity: int = 1024,
                  dedup_capacity_per_tx: int = 16,
+                 memo_capacity: int = 4096,
                  registry: Optional[MetricsRegistry] = None,
                  tracer=None,
                  injector=None,
@@ -224,7 +225,19 @@ class Speculator:
             capacity=prefix_cache_capacity, enabled=enable_prefix_cache,
             registry=registry,
             injector=self.injector if self.injector.enabled else None)
-        self.aps: Dict[int, AcceleratedProgram] = {}
+        #: The memo table: tx hash -> AcceleratedProgram, LRU-ordered.
+        #: Bounded by ``memo_capacity`` (the long-sim unbounded-growth
+        #: fix): recency updates happen at deterministic points of the
+        #: speculation/execution schedule, so eviction order is a pure
+        #: function of the workload — two same-seed runs evict the same
+        #: transactions at the same cost-unit times.
+        self.aps: "OrderedDict[int, AcceleratedProgram]" = OrderedDict()
+        self.memo_capacity = memo_capacity
+        #: Durability hook (:mod:`repro.recovery`): called as
+        #: ``memo_sink(event, tx_hash)`` for ``insert`` / ``evict`` /
+        #: ``drop`` / ``discard`` so the journal can record the memo
+        #: table's evolution.  No-op by default.
+        self.memo_sink: Optional[Callable[[str, int], None]] = None
         self.records: List[SpeculationRecord] = []
         #: Synthesis stats of executed-and-dropped APs (§5.5).
         self.archive: List[ApArchive] = []
@@ -247,6 +260,10 @@ class Speculator:
         self.c_dedup_cost_saved = obs.counter("dedup_cost_saved")
         self.c_dedup_evictions = obs.counter("dedup_evictions")
         self.h_trace_len = obs.histogram("trace_len")
+        memo_obs = registry.scope("memo")
+        self.c_memo_inserts = memo_obs.counter("inserts")
+        self.c_memo_evictions = memo_obs.counter("evictions")
+        self.g_memo_size = memo_obs.gauge("size")
         self._merge_metrics = MergeMetrics(registry.scope("merge"))
         self._prefix_evm = EvmMetrics(registry.scope("prefix_exec"))
         #: Per-tx fingerprint index: tx -> (fingerprint -> detached
@@ -316,7 +333,44 @@ class Speculator:
     # -- public API ----------------------------------------------------------
 
     def get_ap(self, tx_hash: int) -> Optional[AcceleratedProgram]:
-        return self.aps.get(tx_hash)
+        ap = self.aps.get(tx_hash)
+        if ap is not None:
+            self.aps.move_to_end(tx_hash)
+        return ap
+
+    def _memo_event(self, event: str, tx_hash: int) -> None:
+        if self.memo_sink is not None:
+            self.memo_sink(event, tx_hash)
+
+    def _archive_ap(self, ap: AcceleratedProgram) -> None:
+        if ap.paths:
+            self.archive.append(ApArchive(
+                paths=[_PathStats(p.stats) for p in ap.paths],
+                distinct_paths=ap.path_count(),
+                context_count=len(ap.context_ids),
+                shortcut_count=ap.shortcut_count,
+            ))
+
+    def _memo_insert(self, tx_hash: int, ap: AcceleratedProgram) -> None:
+        """Insert a fresh AP, LRU-evicting past ``memo_capacity``.
+
+        An evicted AP is archived like a dropped one (its synthesis
+        happened; §5.5 must still see it) — the transaction simply
+        loses its acceleration and, if it is ever packed, executes the
+        plain path: eviction can never change committed state.
+        """
+        self.aps[tx_hash] = ap
+        self.aps.move_to_end(tx_hash)
+        self.c_memo_inserts.inc()
+        self._memo_event("insert", tx_hash)
+        while len(self.aps) > self.memo_capacity:
+            victim_hash, victim = self.aps.popitem(last=False)
+            self._dedup.pop(victim_hash, None)
+            self.prefix_cache.evict_tx(victim_hash)
+            self._archive_ap(victim)
+            self.c_memo_evictions.inc()
+            self._memo_event("evict", victim_hash)
+        self.g_memo_size.set(len(self.aps))
 
     def drop(self, tx_hash: int) -> None:
         """Forget a transaction's AP (e.g. after it was executed),
@@ -324,13 +378,10 @@ class Speculator:
         self._dedup.pop(tx_hash, None)
         self.prefix_cache.evict_tx(tx_hash)
         ap = self.aps.pop(tx_hash, None)
-        if ap is not None and ap.paths:
-            self.archive.append(ApArchive(
-                paths=[_PathStats(p.stats) for p in ap.paths],
-                distinct_paths=ap.path_count(),
-                context_count=len(ap.context_ids),
-                shortcut_count=ap.shortcut_count,
-            ))
+        if ap is not None:
+            self._archive_ap(ap)
+            self.g_memo_size.set(len(self.aps))
+            self._memo_event("drop", tx_hash)
 
     def discard(self, tx_hash: int) -> None:
         """Forget a transaction's AP *and* its dedup fingerprints
@@ -339,7 +390,9 @@ class Speculator:
         aggregates and its paths must never be cloned again)."""
         self._dedup.pop(tx_hash, None)
         self.prefix_cache.evict_tx(tx_hash)
-        self.aps.pop(tx_hash, None)
+        if self.aps.pop(tx_hash, None) is not None:
+            self.g_memo_size.set(len(self.aps))
+            self._memo_event("discard", tx_hash)
 
     def invalidate_prefixes(self, reason: str = "") -> int:
         """Drop every cached prefix (new canonical head or reorg)."""
@@ -625,7 +678,9 @@ class Speculator:
         ap = self.aps.get(tx.hash)
         if ap is None:
             ap = AcceleratedProgram(tx.hash)
-            self.aps[tx.hash] = ap
+            self._memo_insert(tx.hash, ap)
+        else:
+            self.aps.move_to_end(tx.hash)
         with self.tracer.span("merge") as sp:
             self.injector.maybe_raise("speculator.merge",
                                       tx=tx.hash, contract=tx.to)

@@ -105,6 +105,34 @@ class TransientStorageError(InjectedFault):
         super().__init__(site, kind="storage_error")
 
 
+class SimulatedCrash(BaseException):
+    """A simulated process death injected by :mod:`repro.recovery`.
+
+    Deliberately **not** a :class:`ReproError` (nor even an
+    ``Exception``): a crash models the whole process dying, so no
+    containment layer — not the speculation guard, not a retry policy,
+    not a bare ``except Exception`` — may absorb it.  Only the
+    crash-recovery harness (which plays the role of the supervisor
+    restarting the node) catches it.
+    """
+
+    def __init__(self, site: str, seq: int = -1) -> None:
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+        #: Journal sequence number active when the crash fired (-1 when
+        #: the crash point is not journal-related).
+        self.seq = seq
+
+
+class RecoveryError(ReproError):
+    """Restart replay failed to converge with the durable journal.
+
+    Raised when a re-driven block's committed root or receipts differ
+    from what the write-ahead journal recorded before the crash — a
+    genuine durability bug, never an expected outcome.
+    """
+
+
 class ChainError(ReproError):
     """Invalid block, transaction, or chain operation."""
 

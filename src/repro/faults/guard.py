@@ -92,6 +92,15 @@ class CircuitBreaker:
         self._state: Dict[int, str] = {}
         self._open_until: Dict[int, int] = {}
         self._doublings: Dict[int, int] = {}
+        #: Contract -> cost-unit time its half-open probe was admitted.
+        #: The half-open window admits exactly *one* probe speculation;
+        #: the rest of the batch keeps being skipped until the probe's
+        #: outcome is recorded, so one half-open window can never burn a
+        #: whole admission cycle on a still-broken contract.  A probe
+        #: whose outcome never arrives (its request was deferred and
+        #: later dropped) expires after another cool-down and a fresh
+        #: probe is admitted — no contract can get stuck half-open.
+        self._probe_inflight: Dict[int, int] = {}
         self.transitions: List[BreakerTransition] = []
 
     # -- queries ---------------------------------------------------------
@@ -104,14 +113,25 @@ class CircuitBreaker:
 
         While open, returns False (and counts the skip) until the
         cool-down expires; the first query after expiry transitions to
-        half-open and admits a single probe speculation.
+        half-open and admits a single probe speculation.  Further
+        queries while that probe is in flight are skipped — the probe's
+        outcome alone decides whether the breaker closes or re-opens.
         """
         state = self.state(contract)
-        if state == STATE_CLOSED or state == STATE_HALF_OPEN:
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN:
+            admitted_at = self._probe_inflight.get(contract)
+            if admitted_at is not None and \
+                    self.clock() < admitted_at + self.cooldown_units:
+                self.c_skipped.inc()
+                return False
+            self._probe_inflight[contract] = self.clock()
             return True
         if self.clock() >= self._open_until[contract]:
             self._transition(contract, STATE_HALF_OPEN)
             self.c_half_open.inc()
+            self._probe_inflight[contract] = self.clock()
             return True
         self.c_skipped.inc()
         return False
@@ -119,10 +139,18 @@ class CircuitBreaker:
     # -- outcomes --------------------------------------------------------
 
     def record_success(self, contract: int) -> None:
+        """A speculation for ``contract`` completed cleanly.
+
+        A successful half-open probe closes the breaker and resets the
+        strike counter *and* the cool-down doubling in the same step —
+        a recovered contract starts from a clean slate and needs a full
+        fresh streak of ``threshold`` faults to re-open, not one.
+        """
         self._consecutive[contract] = 0
+        self._probe_inflight.pop(contract, None)
         if self.state(contract) == STATE_HALF_OPEN:
-            self._transition(contract, STATE_CLOSED)
             self._doublings[contract] = 0
+            self._transition(contract, STATE_CLOSED)
             self.g_open.add(-1)
             self.c_closed.inc()
 
@@ -130,6 +158,7 @@ class CircuitBreaker:
         state = self.state(contract)
         if state == STATE_HALF_OPEN:
             # Probe failed: re-open with doubled cool-down.
+            self._probe_inflight.pop(contract, None)
             self._open(contract, reopen=True)
             return
         if state == STATE_OPEN:

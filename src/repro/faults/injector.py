@@ -57,9 +57,17 @@ KIND_DUPLICATE = "duplicate"
 KIND_REORDER = "reorder"
 KIND_STORAGE = "storage_error"
 KIND_STALL = "stall"
+#: Crash-recovery kinds (:mod:`repro.recovery.crashpoints`): ``crash``
+#: kills the simulated process at the site; ``torn`` kills it midway
+#: through a durable write, leaving a partial record on disk.  Their
+#: sites are custom ``recovery.*`` rules and deliberately *not* part of
+#: :data:`SITES`, so generic chaos plans (``FaultPlan.uniform``) never
+#: raise an uncontainable :class:`repro.errors.SimulatedCrash`.
+KIND_CRASH = "crash"
+KIND_TORN = "torn"
 
 KINDS = (KIND_RAISE, KIND_CORRUPT, KIND_DROP, KIND_DUPLICATE,
-         KIND_REORDER, KIND_STORAGE, KIND_STALL)
+         KIND_REORDER, KIND_STORAGE, KIND_STALL, KIND_CRASH, KIND_TORN)
 
 #: Default worker stall, in cost units (~0.1 s of simulated worker time).
 DEFAULT_STALL_UNITS = 2_000_000

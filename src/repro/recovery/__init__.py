@@ -1,0 +1,48 @@
+"""Deterministic crash-recovery: WAL, snapshots, crashpoints, replay.
+
+Forerunner runs as a long-lived live node (the paper's 10-day L1/R1-R5
+experiments): it must be able to die mid-block and come back without
+corrupting chain state or losing its memoized speculation capital.
+This package adds the durability boundary the emulator lacked:
+
+* :mod:`repro.recovery.journal` — a cost-unit-ordered write-ahead log
+  of durable events with CRC-framed, canonical-JSON records that
+  tolerate torn tails;
+* :mod:`repro.recovery.snapshot` — periodic copy-on-write snapshots of
+  chain / state / memo-table / txpool with atomic install and bounded
+  journal truncation;
+* :mod:`repro.recovery.crashpoints` — seeded crash injection at every
+  journal append and fsync boundary, driven through the
+  :mod:`repro.faults` plan machinery as ``recovery.*`` sites;
+* :mod:`repro.recovery.replay` — the durable replay harness plus
+  restart replay that rebuilds the node, re-runs speculation for
+  in-flight heads, and verifies convergence against the journal and
+  the uncrashed equivalence digest.
+
+The acceptance bar is the Dafny-style one: recovery is correct only if
+the replayed post-state is *byte-identical* to an uninterrupted run —
+checked with the same digests :mod:`repro.faults.invariants` uses.
+"""
+
+from repro.recovery.crashpoints import (  # noqa: F401
+    CRASH_SITES,
+    TORN_SITES,
+    crash_plan,
+    maybe_crash,
+    sweep_plans,
+)
+from repro.recovery.journal import (  # noqa: F401
+    JournalRecord,
+    JournalScan,
+    JournalWriter,
+    read_journal,
+    truncate_torn_tail,
+)
+from repro.recovery.replay import (  # noqa: F401
+    DurableReplay,
+    RecoveryConfig,
+    RecoveryOutcome,
+    recovery_report,
+    run_with_recovery,
+)
+from repro.recovery.snapshot import SnapshotStore  # noqa: F401

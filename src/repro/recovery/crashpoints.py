@@ -1,0 +1,120 @@
+"""Seeded crash injection at every durability boundary.
+
+Crash sites are **custom** injector rules — deliberately absent from
+:data:`repro.faults.injector.SITES` — so generic chaos plans
+(``FaultPlan.uniform`` / ``seeded_random``) never raise a
+:class:`repro.errors.SimulatedCrash`, which no containment layer may
+catch.  They reuse the :class:`~repro.faults.injector.FaultInjector`
+machinery unchanged: per-site seeded RNG streams, ``after``/
+``max_fires`` firing windows, and the ``faults.site.*`` obs counters
+(custom sites are auto-registered).
+
+Site semantics
+--------------
+
+=================================== =====================================
+``recovery.journal.append``          die *before* the record is written
+                                     (nothing durable)
+``recovery.journal.torn_write``      die midway through the frame write
+                                     (a torn tail the scanner must
+                                     detect and truncate)
+``recovery.journal.after_write``     die after write+flush, before fsync
+                                     (the record is durable in the
+                                     simulated store)
+``recovery.journal.after_sync``      die right after fsync (fully
+                                     durable)
+``recovery.snapshot.write``          die before the snapshot file is
+                                     written
+``recovery.snapshot.torn_write``     die midway through the snapshot,
+                                     written to the *final* path (a
+                                     corrupt snapshot the loader must
+                                     skip)
+``recovery.snapshot.after_write``    die after the temp file is synced,
+                                     before the atomic rename (a stray
+                                     ``.tmp`` the store must ignore)
+``recovery.block.pre_commit``        die after the block-import record,
+                                     before execution
+``recovery.block.post_commit``       die right after the block-commit
+                                     record
+=================================== =====================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import SimulatedCrash
+from repro.faults.injector import (
+    KIND_CRASH,
+    KIND_TORN,
+    FaultPlan,
+    FaultRule,
+)
+
+SITE_JOURNAL_APPEND = "recovery.journal.append"
+SITE_JOURNAL_TORN = "recovery.journal.torn_write"
+SITE_JOURNAL_AFTER_WRITE = "recovery.journal.after_write"
+SITE_JOURNAL_AFTER_SYNC = "recovery.journal.after_sync"
+SITE_SNAPSHOT_WRITE = "recovery.snapshot.write"
+SITE_SNAPSHOT_TORN = "recovery.snapshot.torn_write"
+SITE_SNAPSHOT_AFTER_WRITE = "recovery.snapshot.after_write"
+SITE_BLOCK_PRE_COMMIT = "recovery.block.pre_commit"
+SITE_BLOCK_POST_COMMIT = "recovery.block.post_commit"
+
+#: Sites that kill the process mid-write, leaving partial bytes.
+TORN_SITES: Tuple[str, ...] = (SITE_JOURNAL_TORN, SITE_SNAPSHOT_TORN)
+
+#: Every crash site, in the order the sweep walks them.
+CRASH_SITES: Tuple[str, ...] = (
+    SITE_JOURNAL_APPEND,
+    SITE_JOURNAL_TORN,
+    SITE_JOURNAL_AFTER_WRITE,
+    SITE_JOURNAL_AFTER_SYNC,
+    SITE_SNAPSHOT_WRITE,
+    SITE_SNAPSHOT_TORN,
+    SITE_SNAPSHOT_AFTER_WRITE,
+    SITE_BLOCK_PRE_COMMIT,
+    SITE_BLOCK_POST_COMMIT,
+)
+
+
+def site_kind(site: str) -> str:
+    """The fault kind a crash plan uses at ``site``."""
+    return KIND_TORN if site in TORN_SITES else KIND_CRASH
+
+
+def crash_plan(seed: int, site: str, occurrence: int = 0) -> FaultPlan:
+    """A plan that kills the process at the ``occurrence``-th evaluation
+    of ``site`` (0-based), exactly once.
+
+    ``max_fires=1`` matters beyond hygiene: a restarted process has
+    fresh per-site evaluation counts, so without it the same crash
+    would re-fire on every restart and the node could never converge.
+    (The recovery harness additionally restarts with no plan at all,
+    modelling a crash cause that died with the process.)
+    """
+    return FaultPlan(seed=seed, rules=(
+        FaultRule(site=site, kind=site_kind(site), probability=1.0,
+                  after=occurrence, max_fires=1),))
+
+
+def sweep_plans(seed: int, occurrence: int = 0
+                ) -> List[Tuple[str, FaultPlan]]:
+    """One single-shot crash plan per site (the crash-matrix sweep)."""
+    return [(site, crash_plan(seed, site, occurrence))
+            for site in CRASH_SITES]
+
+
+def maybe_crash(injector, site: str, **ctx) -> None:
+    """Die here if a ``crash`` rule fires (``torn`` rules are handled by
+    the writers, which must leave partial bytes behind first)."""
+    rule = injector.evaluate(site, **ctx)
+    if rule is not None and rule.kind == KIND_CRASH:
+        raise SimulatedCrash(site, seq=int(ctx.get("seq", -1)))
+
+
+def torn_fires(injector, site: str, **ctx) -> bool:
+    """True when a ``torn`` rule fires at ``site`` — the caller must
+    write the partial frame, then raise ``SimulatedCrash`` itself."""
+    rule = injector.evaluate(site, **ctx)
+    return rule is not None and rule.kind == KIND_TORN

@@ -1,0 +1,623 @@
+"""Durable replay with restart-replay convergence.
+
+:class:`DurableReplay` is the emulator's event loop
+(:func:`repro.sim.emulator.replay`) re-hosted on a durability boundary:
+every block import and commit is journaled (fsync'd), per-transaction
+commits and memo-table events stream into the WAL, and a snapshot of
+the full node state — both worlds, both node caches, the txpool, the
+memo-table summary, the committed reports — is atomically installed
+every ``snapshot_interval_blocks`` blocks, after which the journal is
+compacted to the snapshot's sequence number.
+
+Because the event timeline is deterministic (a stable sort of tx
+arrivals, speculation ticks and block arrivals), resumption is a
+cursor: a snapshot pins the index of the next unconsumed event, and
+recovery replays the suffix.  Blocks whose ``block_commit`` record
+survived the crash are **re-driven and verified**: the recovered node
+must reproduce the journaled state root and receipts byte-for-byte or
+:class:`repro.errors.RecoveryError` is raised.  Blocks past the
+journal's horizon are fresh.
+
+The convergence bar (checked by :func:`recovery_report` and the
+``repro crash`` CLI) is the strongest one available: the equivalence
+digest (:func:`repro.faults.invariants.run_digest`) of the
+crashed-and-recovered run must be byte-identical to an *uninterrupted*
+:func:`~repro.sim.emulator.replay` of the same dataset — committed
+roots, receipts, and the Table 2/3 baseline columns included.  The
+baseline columns are the subtle part: per-transaction baseline cost
+depends on cross-block :class:`~repro.state.nodecache.NodeCache`
+warmth, which is why snapshots carry both nodes' warm-key lists in LRU
+order.
+
+Speculation capital (APs, prefix cache, dedup fingerprints) is
+*derived* state: it is never serialized — the recovered node re-runs
+speculation for in-flight heads from the restored txpool, exactly as
+the paper's node would re-speculate after a restart.  The journal still
+records memo inserts/evictions, so the rebuilt table can be audited
+against pre-crash history.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.node import (
+    BaselineNode,
+    BlockReport,
+    ForerunnerConfig,
+    ForerunnerNode,
+    TxRecord,
+)
+from repro.errors import RecoveryError, SimulatedCrash, SimulationError
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import NullTracer, SpanTracer
+from repro.recovery.crashpoints import (
+    SITE_BLOCK_POST_COMMIT,
+    SITE_BLOCK_PRE_COMMIT,
+    crash_plan,
+    maybe_crash,
+    sweep_plans,
+)
+from repro.recovery.journal import (
+    JournalWriter,
+    read_journal,
+    truncate_torn_tail,
+)
+from repro.recovery.snapshot import SnapshotStore
+from repro.sim.emulator import EvaluationRun, JoinedRecord
+from repro.sim.storage import (
+    tx_from_json,
+    tx_to_json,
+    world_from_json,
+    world_to_json,
+)
+
+
+@dataclass
+class RecoveryConfig:
+    """Durability tunables."""
+
+    #: Snapshot every N committed blocks (0 disables snapshots; the
+    #: journal then carries the whole history).
+    snapshot_interval_blocks: int = 2
+    #: Newest snapshots retained on disk.
+    keep_snapshots: int = 2
+    #: Journal memo-table events (insert/evict/drop/discard).  Pure
+    #: audit trail; recovery never replays them.
+    journal_memo_events: bool = True
+    #: Give up after this many restart attempts (a crash-loop guard;
+    #: single-shot crash plans need exactly one).
+    max_restarts: int = 5
+
+
+@dataclass
+class RecoveryInfo:
+    """What one restart found and rebuilt."""
+
+    torn_bytes_truncated: int = 0
+    snapshot_block: Optional[int] = None
+    journal_records: int = 0
+    blocks_restored: int = 0
+    blocks_verified: int = 0
+    blocks_fresh: int = 0
+    #: ``tx_commit`` records whose block never reached ``block_commit``
+    #: (the crash landed mid-block; those effects were never durable).
+    incomplete_tx_commits: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class RecoveryOutcome:
+    """One workload survived (or not) a crash plan."""
+
+    run: EvaluationRun
+    crashes: List[dict] = field(default_factory=list)
+    restarts: int = 0
+    recoveries: List[RecoveryInfo] = field(default_factory=list)
+    #: ``faults.site.*`` summary of the injector that caused the crash.
+    fire_summary: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+
+def _build_events(dataset, observer: str, speculation_tick: float
+                  ) -> List[Tuple[float, int, int, tuple]]:
+    """The emulator's merged timeline as an indexable sorted list.
+
+    A heap pops in exactly sorted order when keys are unique (the
+    counter guarantees that), so iterating this list reproduces
+    :func:`repro.sim.emulator.replay` event-for-event — and a plain
+    integer cursor into it is a complete resumption point.
+    """
+    if observer not in dataset.tx_arrivals:
+        raise SimulationError(
+            f"dataset {dataset.name!r} has no observer {observer!r} "
+            f"(has {sorted(dataset.tx_arrivals)})")
+    events: List[Tuple[float, int, int, tuple]] = []
+    counter = 0
+    for arrival, tx in dataset.tx_arrivals[observer]:
+        events.append((arrival, 0, counter, ("tx", tx)))
+        counter += 1
+    last_block_time = dataset.blocks[-1][0] if dataset.blocks else 0.0
+    tick = speculation_tick
+    while tick < last_block_time:
+        events.append((tick, 1, counter, ("tick", None)))
+        counter += 1
+        tick += speculation_tick
+    for arrival, block in dataset.blocks:
+        events.append((arrival, 2, counter, ("block", block)))
+        counter += 1
+    events.sort()
+    return events
+
+
+def _cache_to_json(cache) -> dict:
+    return {"keys": [list(key) for key in cache.warm_keys()],
+            "hits": cache.hits, "misses": cache.misses}
+
+
+def _cache_from_json(cache, payload: dict) -> None:
+    cache.restore([tuple(key) for key in payload["keys"]],
+                  hits=int(payload["hits"]),
+                  misses=int(payload["misses"]))
+
+
+def _report_to_json(report: BlockReport) -> dict:
+    return {"block_number": report.block_number,
+            "state_root": report.state_root,
+            "records": [dataclasses.asdict(r) for r in report.records]}
+
+
+def _report_from_json(payload: dict) -> BlockReport:
+    return BlockReport(
+        block_number=int(payload["block_number"]),
+        state_root=int(payload["state_root"]),
+        records=[TxRecord(**r) for r in payload["records"]])
+
+
+class DurableReplay:
+    """One process lifetime of a durable evaluation node.
+
+    ``resume=False`` starts a fresh store (journal truncated to a new
+    magic header, snapshots untouched but superseded); ``resume=True``
+    models a process restart: truncate the journal's torn tail, load
+    the newest intact snapshot, rebuild both nodes, and continue the
+    event timeline from the snapshot's cursor, verifying every
+    journal-committed block it re-drives.
+    """
+
+    def __init__(self, dataset, store_dir: str, observer: str = "live",
+                 config: Optional[ForerunnerConfig] = None,
+                 recovery: Optional[RecoveryConfig] = None,
+                 crash_plan=None, speculation_tick: float = 2.0,
+                 resume: bool = False) -> None:
+        self.dataset = dataset
+        self.observer = observer
+        self.config = config or ForerunnerConfig()
+        self.recovery = recovery or RecoveryConfig()
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(self.registry) \
+            if self.config.enable_obs else NullTracer()
+        if crash_plan is not None:
+            self.injector = FaultInjector(crash_plan,
+                                          registry=self.registry)
+        else:
+            self.injector = NULL_INJECTOR
+        obs = self.registry.scope("recovery")
+        self._obs = obs
+        self.c_restores = obs.counter("restores")
+        self.c_blocks_restored = obs.counter("blocks_restored")
+        self.c_blocks_verified = obs.counter("blocks_verified")
+        self.c_blocks_fresh = obs.counter("blocks_fresh")
+        self.c_torn_truncated = obs.counter("journal.torn_bytes_truncated")
+        self._events = _build_events(dataset, observer, speculation_tick)
+        self.cursor = 0
+        self.info = RecoveryInfo()
+        #: block number -> journaled commit payload to verify against.
+        self._verify: Dict[int, dict] = {}
+        self._baseline_records: Dict[int, TxRecord] = {}
+        self._sim_now = 0.0
+        journal_path = os.path.join(store_dir, "journal.wal")
+        self.snapshots = SnapshotStore(
+            os.path.join(store_dir, "snapshots"),
+            injector=self.injector, obs=obs,
+            keep=self.recovery.keep_snapshots)
+        self.run_ = EvaluationRun(
+            dataset_name=dataset.name, observer=observer,
+            registry=self.registry, tracer=self.tracer)
+        next_seq = 0
+        if resume:
+            next_seq = self._restore(journal_path)
+        else:
+            if os.path.exists(journal_path):
+                os.remove(journal_path)
+            self._fresh_nodes()
+        self.journal = JournalWriter(journal_path,
+                                     injector=self.injector,
+                                     obs=obs, next_seq=next_seq)
+        if self.recovery.journal_memo_events:
+            self.forerunner.speculator.memo_sink = self._memo_sink
+
+    # -- node construction / restore --------------------------------------
+
+    def _fresh_nodes(self) -> None:
+        self.baseline = BaselineNode(self.dataset.genesis_world.copy(),
+                                     registry=self.registry)
+        self.forerunner = ForerunnerNode(
+            self.dataset.genesis_world.copy(), self.config,
+            registry=self.registry, tracer=self.tracer)
+        self.forerunner.predictor.observe_block(
+            self.dataset.genesis_block)
+
+    def _restore(self, journal_path: str) -> int:
+        """Truncate, scan, load, rebuild.  Returns the next journal
+        sequence number for the re-opened writer."""
+        self.c_restores.inc()
+        if not os.path.exists(journal_path):
+            # Crashed before the journal was even created: cold start.
+            self._fresh_nodes()
+            return 0
+        self.info.torn_bytes_truncated = truncate_torn_tail(journal_path)
+        self.c_torn_truncated.inc(self.info.torn_bytes_truncated)
+        scan = read_journal(journal_path)
+        self.info.journal_records = len(scan.records)
+        loaded = self.snapshots.load_latest()
+        base_seq = -1
+        if loaded is not None:
+            payload, block_number = loaded
+            self._restore_from_snapshot(payload)
+            self.info.snapshot_block = block_number
+            base_seq = int(payload["journal_seq"])
+        else:
+            self._fresh_nodes()
+        committed: Dict[int, dict] = {}
+        tx_commit_blocks: List[int] = []
+        for record in scan.records:
+            if record.seq <= base_seq:
+                continue
+            if record.type == "block_commit":
+                committed[int(record.data["number"])] = record.data
+            elif record.type == "tx_commit":
+                tx_commit_blocks.append(int(record.data["block"]))
+        self._verify = committed
+        self.info.incomplete_tx_commits = sum(
+            1 for number in tx_commit_blocks if number not in committed)
+        self.info.blocks_restored = len(self.forerunner.reports)
+        self.c_blocks_restored.inc(self.info.blocks_restored)
+        return scan.next_seq
+
+    def _restore_from_snapshot(self, payload: dict) -> None:
+        if payload.get("format") != 1:
+            raise RecoveryError(
+                f"unknown snapshot format {payload.get('format')!r}")
+        if payload["dataset"] != self.dataset.name \
+                or payload["observer"] != self.observer:
+            raise RecoveryError(
+                "snapshot belongs to a different dataset/observer")
+        base = payload["baseline"]
+        self.baseline = BaselineNode(world_from_json(base["world"]),
+                                     registry=self.registry)
+        _cache_from_json(self.baseline.node_cache, base["cache"])
+        fore = payload["forerunner"]
+        self.forerunner = ForerunnerNode(
+            world_from_json(fore["world"]), self.config,
+            registry=self.registry, tracer=self.tracer)
+        _cache_from_json(self.forerunner.node_cache, fore["cache"])
+        self.forerunner.predictor.observe_block(
+            self.dataset.genesis_block)
+        self.forerunner.head_number = int(fore["head_number"])
+        for tx_json, heard_time in fore["pool"]:
+            tx = tx_from_json(tx_json)
+            self.forerunner.pool[tx.hash] = (tx, float(heard_time))
+        self.forerunner.heard = {
+            int(tx_hash, 16): float(when)
+            for tx_hash, when in fore["heard"]}
+        self.forerunner.executed = {
+            int(tx_hash, 16) for tx_hash in fore["executed"]}
+        self.forerunner._pool_version = len(self.forerunner.pool) + 1
+        self.forerunner.reports = [
+            _report_from_json(entry) for entry in fore["reports"]]
+        self.cursor = int(payload["event_cursor"])
+        self.run_.records = [
+            JoinedRecord(**entry) for entry in payload["records"]]
+        self.run_.blocks_executed = int(payload["blocks_executed"])
+        self.run_.roots_matched = int(payload["roots_matched"])
+        self.run_.speculation_jobs = int(payload["speculation_jobs"])
+
+    # -- capture -----------------------------------------------------------
+
+    def _capture(self, block_number: int) -> dict:
+        fore = self.forerunner
+        pool = sorted(fore.pool.items())
+        return {
+            "format": 1,
+            "dataset": self.dataset.name,
+            "observer": self.observer,
+            "block_number": block_number,
+            "event_cursor": self.cursor,
+            "journal_seq": self.journal.next_seq - 1,
+            "blocks_executed": self.run_.blocks_executed,
+            "roots_matched": self.run_.roots_matched,
+            "speculation_jobs": self.run_.speculation_jobs,
+            "baseline": {
+                "world": world_to_json(self.baseline.world),
+                "cache": _cache_to_json(self.baseline.node_cache),
+            },
+            "forerunner": {
+                "world": world_to_json(fore.world),
+                "cache": _cache_to_json(fore.node_cache),
+                "head_number": fore.head_number,
+                "pool": [[tx_to_json(tx), heard]
+                         for _, (tx, heard) in pool],
+                "heard": [[f"{tx_hash:#x}", when] for tx_hash, when
+                          in sorted(fore.heard.items())],
+                "executed": [f"{tx_hash:#x}"
+                             for tx_hash in sorted(fore.executed)],
+                "memo": [f"{tx_hash:#x}" for tx_hash in fore.speculator.aps],
+                "reports": [_report_to_json(r) for r in fore.reports],
+            },
+            "records": [dataclasses.asdict(r)
+                        for r in self.run_.records],
+        }
+
+    # -- journal hooks -----------------------------------------------------
+
+    def _clock(self) -> dict:
+        return {
+            "exec_cost": int(self.forerunner.c_cost.value),
+            "spec_cost": int(
+                self.forerunner.speculator.total_logical_cost),
+            "sim_time": round(self._sim_now, 6),
+        }
+
+    def _memo_sink(self, event: str, tx_hash: int) -> None:
+        self.journal.append("memo_" + event, {"tx": f"{tx_hash:#x}"},
+                            clock=self._clock())
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self) -> EvaluationRun:
+        """Consume the timeline from the cursor; returns the run.
+
+        Raises :class:`SimulatedCrash` when the crash plan fires (the
+        journal/snapshot store is left exactly as the dying process
+        would leave it) and :class:`RecoveryError` when a re-driven
+        block fails to reproduce its journaled commit."""
+        events = self._events
+        try:
+            while self.cursor < len(events):
+                now, _, _, (kind, payload) = events[self.cursor]
+                self.cursor += 1
+                self._sim_now = now
+                if kind == "tx":
+                    self.forerunner.on_transaction(payload, now)
+                elif kind == "tick":
+                    self.run_.speculation_jobs += \
+                        self.forerunner.run_speculation(now)
+                else:
+                    self._process_block(payload, now)
+        finally:
+            self.journal.close()
+        fore = self.forerunner
+        self.run_.total_speculation_cost = \
+            fore.speculator.total_speculation_cost
+        self.run_.prefetch_offpath_cost = fore.prefetcher.offpath_cost
+        self.run_.sched = fore.sched_report()
+        self.run_.forerunner_node = fore
+        self.run_.fault_injector = \
+            self.injector if self.injector.enabled else None
+        return self.run_
+
+    def _process_block(self, block, now: float) -> None:
+        self.run_.speculation_jobs += \
+            self.forerunner.run_speculation(now)
+        self.journal.append("block_import", {
+            "number": block.number,
+            "txs": len(block.transactions),
+            "arrival": round(now, 6),
+        }, sync=True, clock=self._clock())
+        maybe_crash(self.injector, SITE_BLOCK_PRE_COMMIT,
+                    block=block.number)
+        base_report = self.baseline.process_block(block)
+        with self.tracer.span("block", number=block.number) as span:
+            fore_report = self.forerunner.process_block(block, now)
+            span.add_cost(sum(r.cost for r in fore_report.records))
+        self.run_.blocks_executed += 1
+        if base_report.state_root == fore_report.state_root:
+            self.run_.roots_matched += 1
+        else:  # pragma: no cover - correctness violation
+            raise SimulationError(
+                f"root divergence at block {block.number}")
+        for record in base_report.records:
+            self._baseline_records[record.tx_hash] = record
+        kinds = self.dataset.kinds
+        joined_pairs = []
+        for record in fore_report.records:
+            base = self._baseline_records.get(record.tx_hash)
+            if base is None:
+                continue
+            self.run_.records.append(JoinedRecord(
+                tx_hash=record.tx_hash,
+                block_number=record.block_number,
+                kind=kinds.get(record.tx_hash, "?"),
+                baseline_cost=base.cost,
+                forerunner_cost=record.cost,
+                baseline_cpu=base.cpu_units,
+                baseline_io_units=base.io_units,
+                baseline_io_reads=base.io_reads,
+                gas_used=record.gas_used,
+                heard=record.heard,
+                heard_delay=record.heard_delay,
+                outcome=record.outcome,
+                ap_ready=record.ap_ready,
+                perfect=record.perfect,
+                first_context_perfect=record.first_context_perfect,
+                speculated_contexts=record.speculated_contexts,
+                shortcut_hits=record.shortcut_hits,
+                executed_nodes=record.executed_nodes,
+                skipped_nodes=record.skipped_nodes,
+            ))
+            joined_pairs.append((record, base))
+        clock = self._clock()
+        for record, base in joined_pairs:
+            self.journal.append("tx_commit", {
+                "tx": f"{record.tx_hash:#x}",
+                "block": block.number,
+                "gas_used": record.gas_used,
+                "success": record.success,
+                "baseline_cost": base.cost,
+                "baseline_cpu": base.cpu_units,
+                "baseline_io_units": base.io_units,
+                "baseline_io_reads": base.io_reads,
+            }, clock=clock)
+        commit = {
+            "number": block.number,
+            "state_root": f"{fore_report.state_root:#x}",
+            "receipts": [
+                {"tx": f"{r.tx_hash:#x}", "gas_used": r.gas_used,
+                 "success": r.success}
+                for r in fore_report.records],
+            "cursor": self.cursor,
+        }
+        self._check_against_journal(block.number, commit)
+        self.journal.append("block_commit", commit, sync=True,
+                            clock=self._clock())
+        maybe_crash(self.injector, SITE_BLOCK_POST_COMMIT,
+                    block=block.number)
+        self.journal.append("prefix_head", {
+            "head": block.number,
+            "world_version": self.forerunner.world.version,
+        }, clock=self._clock())
+        interval = self.recovery.snapshot_interval_blocks
+        if interval and block.number % interval == 0:
+            payload = self._capture(block.number)
+            self.snapshots.save(payload, block.number)
+            self.journal.compact(
+                keep_from_seq=int(payload["journal_seq"]) + 1)
+
+    def _check_against_journal(self, number: int, commit: dict) -> None:
+        """A re-driven block must reproduce its pre-crash commit."""
+        expected = self._verify.get(number)
+        if expected is None:
+            self.info.blocks_fresh += 1
+            self.c_blocks_fresh.inc()
+            return
+        for key in ("state_root", "receipts"):
+            if expected[key] != commit[key]:
+                raise RecoveryError(
+                    f"restart replay diverged at block {number}: "
+                    f"journaled {key} != recomputed {key}")
+        self.info.blocks_verified += 1
+        self.c_blocks_verified.inc()
+
+
+def run_with_recovery(dataset, store_dir: str, crash_plan=None,
+                      observer: str = "live",
+                      config: Optional[ForerunnerConfig] = None,
+                      recovery: Optional[RecoveryConfig] = None,
+                      speculation_tick: float = 2.0) -> RecoveryOutcome:
+    """Run durably under ``crash_plan``; on simulated death, restart
+    and recover until the workload completes.
+
+    Restarts run with **no plan**: the crash cause died with the
+    process (and a restarted injector's per-site counts would re-fire a
+    probability-1.0 rule forever otherwise).  ``max_restarts`` guards
+    against a genuine crash loop."""
+    recovery = recovery or RecoveryConfig()
+    outcome = RecoveryOutcome(run=None)
+    node = DurableReplay(dataset, store_dir, observer=observer,
+                         config=config, recovery=recovery,
+                         crash_plan=crash_plan,
+                         speculation_tick=speculation_tick)
+    try:
+        outcome.run = node.run()
+        outcome.fire_summary = node.injector.fire_summary() \
+            if node.injector.enabled else {}
+        return outcome
+    except SimulatedCrash as crash:
+        outcome.crashes.append({"site": crash.site, "seq": crash.seq})
+        outcome.fire_summary = node.injector.fire_summary()
+    while True:
+        outcome.restarts += 1
+        if outcome.restarts > recovery.max_restarts:
+            raise RecoveryError(
+                f"crash loop: {outcome.restarts - 1} restarts "
+                f"exhausted (crashes: {outcome.crashes})")
+        node = DurableReplay(dataset, store_dir, observer=observer,
+                             config=config, recovery=recovery,
+                             crash_plan=None,
+                             speculation_tick=speculation_tick,
+                             resume=True)
+        outcome.recoveries.append(node.info)
+        try:
+            outcome.run = node.run()
+            return outcome
+        except SimulatedCrash as crash:  # pragma: no cover - no plan
+            outcome.crashes.append({"site": crash.site,
+                                    "seq": crash.seq})
+
+
+def recovery_report(dataset, store_root: str, seed: int = 0,
+                    sites=None, observer: str = "live",
+                    config: Optional[ForerunnerConfig] = None,
+                    recovery: Optional[RecoveryConfig] = None,
+                    clean_run=None) -> dict:
+    """Crash-matrix sweep: one single-shot crash per site, each run
+    recovered and its equivalence digest compared byte-for-byte to an
+    uninterrupted emulator replay.
+
+    ``seed`` doubles as the crash *occurrence*: seed 0 dies at each
+    site's first evaluation, seed 1 at its second, and so on — so a
+    three-seed CI sweep covers early, mid and late crashes at every
+    durability boundary.  The returned payload is canonical-JSON-ready
+    and contains no paths or timestamps: two runs of the same seed are
+    byte-identical (CI diffs them).
+    """
+    from repro.faults.invariants import run_digest  # avoid cycle
+    from repro.obs.export import canonical_json
+    from repro.sim.emulator import replay
+
+    if clean_run is None:
+        clean_run = replay(dataset, observer, config=config)
+    clean = canonical_json(run_digest(clean_run))
+    entries = []
+    chosen = sweep_plans(seed, occurrence=seed) if sites is None else [
+        (site, crash_plan(seed, site, occurrence=seed))
+        for site in sites]
+    all_ok = True
+    for index, (site, plan) in enumerate(chosen):
+        store_dir = os.path.join(store_root, f"crash-{index:02d}")
+        outcome = run_with_recovery(
+            dataset, store_dir, crash_plan=plan, observer=observer,
+            config=config, recovery=recovery)
+        digest = canonical_json(run_digest(outcome.run))
+        converged = digest == clean
+        fired = sum(entry["fired"]
+                    for entry in outcome.fire_summary.values())
+        all_ok &= converged
+        entries.append({
+            "site": site,
+            "fired": fired,
+            "crashes": outcome.crashes,
+            "restarts": outcome.restarts,
+            "converged": converged,
+            "recoveries": [info.as_dict()
+                           for info in outcome.recoveries],
+        })
+    return {
+        "dataset": dataset.name,
+        "observer": observer,
+        "seed": seed,
+        "converged": all_ok,
+        "clean_digest_sha": _sha256_hex(clean),
+        "sites": entries,
+    }
+
+
+def _sha256_hex(text: str) -> str:
+    return hashlib.sha256(text.encode("ascii")).hexdigest()

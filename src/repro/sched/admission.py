@@ -205,6 +205,32 @@ class AdmissionController:
                 self._seq += 1
         return result
 
+    def release(self, tx_hash: int) -> int:
+        """Forget everything admitted for ``tx_hash`` (reorg requeue).
+
+        Clears the per-(tx, head) and total context caps and purges any
+        deferred carry-over requests for the transaction.  Deferred
+        entries carry scores computed under the abandoned head's state
+        — re-dispatching them would speculate on a stale priority
+        snapshot, so the next admission cycle must re-score the
+        transaction from its fresh pool entry instead.  Returns the
+        number of deferred requests purged.
+        """
+        self.total_spec.pop(tx_hash, None)
+        for key in [key for key in self.spec_counts
+                    if key[0] == tx_hash]:
+            del self.spec_counts[key]
+        before = len(self._deferred)
+        if before:
+            self._deferred = [request for request in self._deferred
+                              if request.tx.hash != tx_hash]
+            purged = before - len(self._deferred)
+            if purged:
+                self.c_dropped.inc(purged)
+                self.g_backlog.set(len(self._deferred))
+            return purged
+        return 0
+
     def defer(self, requests: Iterable[SpeculationRequest],
               head: int) -> None:
         """Carry requests to the next cycle, bounded by

@@ -112,6 +112,18 @@ def _world_from_json(payload: list) -> WorldState:
     return world
 
 
+# Public codec aliases: crash-recovery snapshots
+# (:mod:`repro.recovery.snapshot`) persist worlds and pending
+# transactions with the exact same byte-stable encoding datasets use,
+# so a state saved by one layer round-trips through the other.
+tx_to_json = _tx_to_json
+tx_from_json = _tx_from_json
+header_to_json = _header_to_json
+header_from_json = _header_from_json
+world_to_json = _world_to_json
+world_from_json = _world_from_json
+
+
 def save_dataset(dataset: Dataset, path: str) -> None:
     """Serialize ``dataset`` to JSON at ``path``."""
     # Deduplicate transactions through an index table.

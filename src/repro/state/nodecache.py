@@ -49,3 +49,25 @@ class NodeCache:
 
     def slot_key(self, address: int, slot: int) -> Hashable:
         return ("slot", address, slot)
+
+    # -- snapshot / restore (repro.recovery) ------------------------------
+
+    def warm_keys(self) -> list:
+        """Warm keys in LRU order (least recent first).
+
+        Cross-block warmth decides cold vs warm I/O charges
+        (:mod:`repro.state.diskio`), so the per-transaction baseline
+        cost columns of Tables 2/3 depend on it: a recovery snapshot
+        must capture the cache or a restarted node would re-pay cold
+        reads the uncrashed run never paid.
+        """
+        return list(self._entries)
+
+    def restore(self, keys, hits: int = 0, misses: int = 0) -> None:
+        """Rebuild the cache from :meth:`warm_keys` output, preserving
+        LRU order so later evictions match the uncrashed node's."""
+        self._entries.clear()
+        for key in keys:
+            self._entries[key] = None
+        self.hits = hits
+        self.misses = misses

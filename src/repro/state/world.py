@@ -61,6 +61,21 @@ class WorldState:
         clone._accounts = {a: acct.copy() for a, acct in self._accounts.items()}
         return clone
 
+    def replace_contents(self, source: "WorldState") -> None:
+        """Restore ``source``'s accounts into *this* world, in place.
+
+        Reorg and crash-recovery both need to rewind a live node's
+        world without breaking the references every component
+        (speculator, prefetcher, executor) already holds.  The restore
+        bypasses :meth:`apply`, so the version is bumped here —
+        version-keyed overlay caches must never serve state from the
+        abandoned timeline.
+        """
+        self._accounts.clear()
+        for address, account in source._accounts.items():
+            self._accounts[address] = account.copy()
+        self.version += 1
+
     # -- commitment -------------------------------------------------------
 
     def root(self) -> int:

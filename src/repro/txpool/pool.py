@@ -33,6 +33,7 @@ class TxPool:
         self.c_replaced = obs.counter("replaced")
         self.c_rejected = obs.counter("rejected")
         self.c_removed = obs.counter("removed")
+        self.c_requeued = obs.counter("requeued")
         self._g_size = obs.gauge("size")
 
     def __len__(self) -> int:
@@ -59,6 +60,23 @@ class TxPool:
         self.arrival_times[tx.hash] = now
         self.c_added.inc()
         self._g_size.set(len(self._by_hash))
+        return True
+
+    def requeue(self, tx: Transaction, now: float = 0.0) -> bool:
+        """Return a reorged-out transaction to the pool.
+
+        Goes through :meth:`add`, so the transaction re-enters its
+        sender's nonce queue (and with it :meth:`ready_for` gap
+        ordering) and is re-ranked by the *live* priority key on the
+        next :meth:`price_sorted` call — never appended with the
+        priority snapshot it held on the abandoned branch.  The
+        original arrival time is preserved when known, keeping
+        heard-delay accounting stable across the reorg.
+        """
+        arrival = self.arrival_times.get(tx.hash, now)
+        if not self.add(tx, arrival):
+            return False
+        self.c_requeued.inc()
         return True
 
     def remove(self, tx_hash: int) -> Optional[Transaction]:

@@ -328,6 +328,40 @@ class TestCircuitBreaker:
         assert summary["opened"] == 1
         assert summary["transitions"][0]["to"] == STATE_OPEN
 
+    def test_half_open_admits_single_probe(self):
+        """While a half-open probe is in flight, further attempts are
+        skipped — one probe at a time, like a real breaker."""
+        clock = ManualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_fault(0xA)
+        clock.t = 150
+        assert breaker.allows(0xA)       # the probe
+        skipped = breaker.c_skipped.value
+        clock.t = 160                    # within the probe window
+        assert not breaker.allows(0xA)   # second caller must wait
+        assert breaker.c_skipped.value == skipped + 1
+        assert breaker.state(0xA) == STATE_HALF_OPEN
+        breaker.record_success(0xA)
+        assert breaker.state(0xA) == STATE_CLOSED
+        assert breaker.allows(0xA)
+
+    def test_stuck_probe_expires_without_livelock(self):
+        """A probe whose outcome never lands (its speculation job was
+        dropped) must not wedge the breaker half-open forever: once a
+        full cool-down passes, a fresh probe is admitted."""
+        clock = ManualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_fault(0xA)
+        clock.t = 150
+        assert breaker.allows(0xA)       # probe admitted, never resolves
+        clock.t = 150 + 100              # probe window (cooldown) elapsed
+        assert breaker.allows(0xA)       # fresh probe, no livelock
+        assert breaker.state(0xA) == STATE_HALF_OPEN
+        breaker.record_fault(0xA)        # second probe fails
+        assert breaker.state(0xA) == STATE_OPEN
+
 
 class TestSpeculationGuard:
     def make(self):
