@@ -1,0 +1,215 @@
+"""Interpreter hot-path microbenchmarks (the compile tier's rationale).
+
+Three measurements, all emitted to ``BENCH_interp.json``:
+
+* **dispatch** — per-opcode interpreter dispatch cost on synthetic
+  straight-line programs, with the tracer-bypassing fast emit path on
+  vs off (the ``fast_emit`` knob on :class:`repro.evm.interpreter.EVM`);
+* **specialize** — specialized-closure vs interpreted-walk time on
+  hand-built APs exercising each of the 20 hottest opcodes
+  (:data:`repro.evm.jit.HOT_OPS`), i.e. the Layer-1 speedup the tier
+  buys on the AP fast path;
+* **tier** — compile/hit/bailout rates of the jit tier over the L1
+  replay (the shared session fixture, jit on by default).
+
+Wall-clock numbers are machine-dependent; the JSON records them for
+trending while the assertions only gate on robust relations (closures
+beat the walk on average; the tier actually engages on L1).
+"""
+
+import json
+import os
+import time
+
+from repro.bench import ascii_table, write_report
+from repro.chain.block import BlockHeader
+from repro.chain.transaction import Transaction
+from repro.core.ap import AcceleratedProgram, Terminal, build_chain
+from repro.core.ap_exec import execute_ap
+from repro.core.costmodel import CostTally
+from repro.core.sevm import Reg, SInstr, SKind
+from repro.evm.assembler import assemble
+from repro.evm.interpreter import EVM
+from repro.evm.jit import HOT_OPS, compile_ap
+from repro.state.statedb import StateDB
+from repro.state.world import WorldState
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SENDER = 0xBE5E
+TARGET = 0x7A86E7
+
+#: Stack operands pushed per iteration, by opcode arity.
+_TERNARY = ("ADDMOD", "MULMOD")
+_UNARY = ("ISZERO", "NOT")
+
+DISPATCH_ITERS = 800
+AP_NODES = 150
+REPS = 5
+
+
+def _header():
+    return BlockHeader(number=1, timestamp=1000, coinbase=0xBEEF)
+
+
+def _dispatch_program(op: str) -> str:
+    if op in _TERNARY:
+        body = f"PUSH 7\nPUSH 5\nPUSH 3\n{op}\nPOP\n"
+    elif op in _UNARY:
+        body = f"PUSH 12345\n{op}\nPOP\n"
+    else:
+        body = f"PUSH 12345\nPUSH 67\n{op}\nPOP\n"
+    return body * DISPATCH_ITERS + "STOP\n"
+
+
+def _time_dispatch(code: bytes, fast_emit: bool) -> tuple:
+    """(best seconds, instruction count) over REPS executions."""
+    best = float("inf")
+    instructions = 0
+    for _ in range(REPS):
+        world = WorldState()
+        world.create_account(SENDER, balance=10**24)
+        world.create_account(TARGET, code=code)
+        state = StateDB(world)
+        tx = Transaction(sender=SENDER, to=TARGET, nonce=0,
+                         gas_limit=10**9)
+        evm = EVM(state, _header(), tx, fast_emit=fast_emit)
+        start = time.perf_counter()
+        result = evm.execute_transaction()
+        best = min(best, time.perf_counter() - start)
+        assert result.success, result.error
+        instructions = evm.instruction_count
+    return best, instructions
+
+
+def _hot_ap(op: str, index: int) -> AcceleratedProgram:
+    """Straight-line AP: one SLOAD feeding AP_NODES ``op`` computes.
+
+    The read keeps the chain out of reach of compile-time constant
+    folding, so the closure executes every node — this measures the
+    specialized hot-op templates, not the folder.
+    """
+    r_prev = Reg(0)
+    instrs = [SInstr(SKind.READ, "SLOAD", dest=r_prev, args=(0,),
+                     key=(TARGET,))]
+    for i in range(AP_NODES):
+        reg = Reg(i + 1)
+        if op in _TERNARY:
+            args = (r_prev, 3, 5)
+        elif op in _UNARY:
+            args = (r_prev,)
+        else:
+            args = (r_prev, 3)
+        instrs.append(SInstr(SKind.COMPUTE, op, dest=reg, args=args))
+        r_prev = reg
+    terminal = Terminal(path_ids=[0], success=True, gas_used=21000,
+                        return_pieces=[], return_size=0, read_set={})
+    ap = AcceleratedProgram(tx_hash=0xA90000 + index)
+    ap.root = build_chain(instrs, terminal)
+    return ap
+
+
+def _time_ap(runner) -> float:
+    best = float("inf")
+    for _ in range(REPS):
+        start = time.perf_counter()
+        outcome = runner()
+        best = min(best, time.perf_counter() - start)
+        assert outcome.success
+    return best
+
+
+def test_interp_hotpath(l1):
+    # -- dispatch cost per hot opcode, fast emit on/off -------------------
+    dispatch = {}
+    for op in HOT_OPS:
+        code_bytes = assemble(_dispatch_program(op))
+        fast_s, n_instr = _time_dispatch(code_bytes, fast_emit=True)
+        slow_s, _ = _time_dispatch(code_bytes, fast_emit=False)
+        dispatch[op] = {
+            "instructions": n_instr,
+            "ns_per_instr_fast_emit": round(fast_s / n_instr * 1e9, 2),
+            "ns_per_instr_tracer_emit": round(slow_s / n_instr * 1e9, 2),
+        }
+
+    # -- specialized closure vs interpreted walk per hot opcode -----------
+    world = WorldState()
+    world.create_account(SENDER, balance=10**24)
+    world.create_account(TARGET, code=b"\x00")
+    world.get_account(TARGET).set_storage(0, 987654321)
+    tx = Transaction(sender=SENDER, to=TARGET, nonce=0)
+    hdr = _header()
+    specialize = {}
+    speedups = []
+    for index, op in enumerate(HOT_OPS):
+        ap = _hot_ap(op, index)
+        artifact = compile_ap(ap)
+        assert artifact.node_count == AP_NODES + 1  # the read + computes
+        state = StateDB(world)
+        walk_s = _time_ap(lambda: execute_ap(
+            ap, state, hdr, tx, tally=CostTally()))
+        closure_s = _time_ap(lambda: artifact.fn(
+            state, hdr, lambda n: 0, CostTally()))
+        # Both strategies must agree before their times mean anything.
+        walked = execute_ap(ap, state, hdr, tx, tally=CostTally())
+        compiled = artifact.fn(state, hdr, lambda n: 0, CostTally())
+        assert (walked.success, walked.gas_used, walked.observed_reads) \
+            == (compiled.success, compiled.gas_used,
+                compiled.observed_reads)
+        speedup = walk_s / closure_s if closure_s else 1.0
+        speedups.append(speedup)
+        specialize[op] = {
+            "walk_us": round(walk_s * 1e6, 2),
+            "closure_us": round(closure_s * 1e6, 2),
+            "speedup": round(speedup, 2),
+        }
+    mean_speedup = sum(speedups) / len(speedups)
+
+    # -- tier engagement on the L1 replay ---------------------------------
+    snap = l1.metrics()
+    jit = {key.split(".", 1)[1]: val["value"]
+           for key, val in snap.items() if key.startswith("jit.")}
+    executions = jit.get("hits", 0) + jit.get("misses", 0) \
+        + jit.get("bailouts", 0)
+    hit_rate = jit.get("hits", 0) / executions if executions else 0.0
+    compiles = jit.get("compiles", 0) + jit.get("compile_aborts", 0)
+    abort_rate = jit.get("compile_aborts", 0) / compiles if compiles \
+        else 0.0
+
+    # The tier must actually engage, and the closures must win.
+    assert jit.get("compiles", 0) > 0
+    assert jit.get("hits", 0) > 0
+    assert mean_speedup > 1.2, specialize
+
+    rows = [[op,
+             f"{dispatch[op]['ns_per_instr_fast_emit']:.0f}",
+             f"{dispatch[op]['ns_per_instr_tracer_emit']:.0f}",
+             f"{specialize[op]['walk_us']:.1f}",
+             f"{specialize[op]['closure_us']:.1f}",
+             f"{specialize[op]['speedup']:.2f}x"]
+            for op in HOT_OPS]
+    rows.append(["mean", "", "", "", "", f"{mean_speedup:.2f}x"])
+    report = ascii_table(
+        ["opcode", "disp fast ns", "disp tracer ns",
+         "walk us", "closure us", "speedup"], rows,
+        title="Interpreter hot path: dispatch cost and specialization")
+    report += (f"\n\njit tier on L1: hit rate {hit_rate:.2%} over "
+               f"{executions} AP executions, compile-abort rate "
+               f"{abort_rate:.2%} over {compiles} compile attempts")
+    write_report("interp_hotpath", report)
+
+    payload = {
+        "dispatch": dispatch,
+        "specialize": specialize,
+        "specialize_mean_speedup": round(mean_speedup, 3),
+        "tier": {
+            "counters": jit,
+            "hit_rate": round(hit_rate, 4),
+            "compile_abort_rate": round(abort_rate, 4),
+            "ap_executions": executions,
+        },
+    }
+    with open(os.path.join(REPO_ROOT, "BENCH_interp.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -45,12 +45,23 @@ def test_table2_effective_speedup(benchmark, l1):
 
 
 @pytest.mark.benchmark(group="table2-wallclock")
-def test_wallclock_direction(benchmark, l1):
+def test_wallclock_direction(benchmark, l1, datasets):
     """Secondary check: even in pure Python, the Forerunner node's
-    critical path is genuinely faster than the baseline's."""
-    ratio = benchmark(
-        lambda: l1.wall_seconds_baseline
-        / max(l1.wall_seconds_forerunner, 1e-9))
-    print(f"\nWall-clock critical-path ratio (baseline/forerunner): "
-          f"{ratio:.2f}x")
+    critical path is genuinely faster than the baseline's.
+
+    Wall gauges are nondeterministic; one extra adjacent replay gives
+    a second paired sample and each arm takes its min (noise on a wall
+    clock is strictly additive), the same discipline the throughput
+    bench applies to its cached-vs-uncached gate.
+    """
+    from repro.sim.emulator import replay
+
+    second = replay(datasets["L1"], "live")
+    wall_base = min(l1.wall_seconds_baseline,
+                    second.wall_seconds_baseline)
+    wall_fore = min(l1.wall_seconds_forerunner,
+                    second.wall_seconds_forerunner)
+    ratio = benchmark(lambda: wall_base / max(wall_fore, 1e-9))
+    print(f"\nWall-clock critical-path ratio (baseline/forerunner, "
+          f"min of 2): {ratio:.2f}x")
     assert ratio > 1.0

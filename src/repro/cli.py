@@ -239,6 +239,7 @@ def _print_sched_report(sched: dict) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.node import ForerunnerConfig
     from repro.obs.export import canonical_json, export_jsonl
     from repro.p2p.latency import LatencyModel
     from repro.sim.emulator import replay
@@ -251,7 +252,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         observers={"live": LatencyModel()},
         seed=args.seed)
     dataset = record_dataset(config)
-    run = replay(dataset, args.observer, lanes=args.lanes)
+    node_config = ForerunnerConfig(enable_jit=not args.no_jit)
+    run = replay(dataset, args.observer, config=node_config,
+                 lanes=args.lanes)
     if args.as_json:
         payload = {
             "dataset": dataset.name,
@@ -261,6 +264,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             "txs": len(run.records),
             "roots_matched": run.roots_matched,
             "blocks_executed": run.blocks_executed,
+            "state_root": hex(run.forerunner_node.world.root()),
             "stages": run.tracer.stage_totals(),
         }
         if args.sched:
@@ -311,7 +315,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         plan = FaultPlan.seeded_random(seed=args.seed,
                                        max_rate=args.max_rate)
-    report = check_equivalence(dataset, plan, observer=args.observer)
+    from repro.core.node import ForerunnerConfig
+    node_config = ForerunnerConfig(enable_jit=not args.no_jit)
+    report = check_equivalence(dataset, plan, observer=args.observer,
+                               config=node_config)
     print(format_report(report))
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
@@ -320,7 +327,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\nwrote degradation report -> {args.json_out}")
     if args.trace_out:
         from repro.sim.emulator import replay
-        faulted = replay(dataset, args.observer, fault_plan=plan)
+        faulted = replay(dataset, args.observer, config=node_config,
+                         fault_plan=plan)
         written = export_jsonl(
             args.trace_out, faulted.tracer, faulted.registry,
             meta={"dataset": dataset.name, "observer": args.observer,
@@ -477,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "(byte-identical for a given seed)")
     report.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the canonical JSONL trace here")
+    report.add_argument("--no-jit", action="store_true",
+                        help="disable the specialization compile tier "
+                             "(docs/COMPILER.md); commitments must stay "
+                             "byte-identical either way")
     report.set_defaults(func=_cmd_report)
 
     chaos = sub.add_parser(
@@ -501,6 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the faulted run's canonical JSONL "
                             "obs trace here")
+    chaos.add_argument("--no-jit", action="store_true",
+                       help="disable the specialization compile tier "
+                            "(docs/COMPILER.md); the degradation report "
+                            "must stay byte-identical either way")
     chaos.set_defaults(func=_cmd_chaos)
 
     crash = sub.add_parser(

@@ -74,9 +74,13 @@ def context_matches(read_set: Dict[tuple, int], state: StateDB,
 class TransactionAccelerator:
     """Executes transactions, preferring accelerated programs."""
 
-    def __init__(self, blockhash_fn: Optional[Callable[[int], int]] = None
-                 ) -> None:
+    def __init__(self, blockhash_fn: Optional[Callable[[int], int]] = None,
+                 jit=None) -> None:
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
+        #: Optional :class:`repro.evm.jit.tier.JitTier`: AP execution
+        #: routes through the tier (specialized closure when a valid
+        #: artifact exists, the interpreted walker otherwise).
+        self.jit = jit
 
     # -- plain path ---------------------------------------------------------
 
@@ -169,8 +173,12 @@ class TransactionAccelerator:
                     result=ExecutionResult(False, gas_used, b""),
                     outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
 
-        outcome = execute_ap(ap, state, header, tx, tally=tally,
-                             blockhash_fn=self.blockhash_fn)
+        if self.jit is not None:
+            outcome = self.jit.execute(ap, state, header, tx, tally=tally,
+                                       blockhash_fn=self.blockhash_fn)
+        else:
+            outcome = execute_ap(ap, state, header, tx, tally=tally,
+                                 blockhash_fn=self.blockhash_fn)
         if not outcome.success:
             state.revert_to(call_snap)
         gas_used = outcome.gas_used

@@ -152,6 +152,11 @@ class AcceleratedProgram:
         #: Distinct speculated context ids folded into this AP.
         self.context_ids: Set[int] = set()
         self.shortcut_count = 0
+        #: Specialized closure for this tree
+        #: (:class:`repro.evm.jit.specialize.CompiledAP`), or ``None``
+        #: when interpreted.  Cleared before any tree mutation and on
+        #: tier invalidation; set by :class:`repro.evm.jit.tier.JitTier`.
+        self.jit: Optional[object] = None
 
     # -- structure helpers -----------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.core.predictor import MultiFuturePredictor, PredictorConfig
 from repro.core.prefetcher import Prefetcher
 from repro.core.speculator import Speculator
 from repro.errors import ChainError
+from repro.evm.jit.tier import JitTier
 from repro.faults.guard import SpeculationGuard
 from repro.faults.injector import NULL_INJECTOR, FaultInjector
 from repro.obs.registry import MetricsRegistry, get_registry
@@ -169,6 +170,19 @@ class ForerunnerConfig:
     #: injector; the guard/breaker machinery is always active either
     #: way, so real faults degrade gracefully too.
     fault_plan: object = None
+    #: Trace-guided specialization tier (repro.evm.jit): compile hot
+    #: AP trees to straight-line Python closures.  Commits are
+    #: byte-identical either way (the conformance suite and the
+    #: jit-on/jit-off CI check prove it); the tier only changes
+    #: wall-clock time and the ``jit.*`` counters.
+    enable_jit: bool = True
+    #: Contexts an AP must accumulate before it is compiled (a
+    #: fingerprint-dedup hit also qualifies as hot).  1 = compile on
+    #: every merge: compilation is off the critical path, so eager
+    #: compilation buys commit-time speed for one off-path compile.
+    jit_hot_threshold: int = 1
+    #: Specialization bails out (stays interpreted) above this size.
+    jit_max_nodes: int = 4096
     #: Concurrency scheduler (repro.sched): parallel execution lanes,
     #: admission budgets, and the bounded prefetch queue.  Any lane
     #: count commits byte-identical state; parallelism shows up only in
@@ -214,6 +228,10 @@ class ForerunnerNode:
         self.predictor = MultiFuturePredictor(self.config.predictor,
                                               registry=self.registry,
                                               injector=self.fault_injector)
+        self.jit = JitTier(enabled=self.config.enable_jit,
+                           hot_threshold=self.config.jit_hot_threshold,
+                           max_nodes=self.config.jit_max_nodes,
+                           registry=self.registry)
         self.speculator = Speculator(
             self.world,
             pass_config=self.config.pass_config,
@@ -227,11 +245,12 @@ class ForerunnerNode:
             registry=self.registry,
             tracer=self.tracer,
             injector=self.fault_injector,
-            guard=self.guard)
+            guard=self.guard,
+            jit=self.jit)
         self.prefetcher = Prefetcher(self.world, self.node_cache,
                                      registry=self.registry,
                                      injector=self.fault_injector)
-        self.accelerator = TransactionAccelerator()
+        self.accelerator = TransactionAccelerator(jit=self.jit)
         self.reports: List[BlockReport] = []
         # Pending pool: hash -> (tx, heard_time).
         self.pool: Dict[int, Tuple[Transaction, float]] = {}
@@ -559,7 +578,9 @@ class ForerunnerNode:
             self.executed.add(tx.hash)
             if self.pool.pop(tx.hash, None) is not None:
                 self._pool_version += 1
-            self.speculator.drop(tx.hash)
+            # Prefix eviction is skipped: invalidate_prefixes below
+            # clears the whole cache in O(1) once the head advances.
+            self.speculator.drop(tx.hash, evict_prefixes=False)
         self.c_blocks.inc()
         self.c_txs.inc(len(records))
         self.c_cost.inc(sum(r.cost for r in records))

@@ -78,10 +78,15 @@ class PrefixCache:
 
     def __init__(self, capacity: int = 256, enabled: bool = True,
                  registry: Optional[MetricsRegistry] = None,
-                 injector=None) -> None:
+                 injector=None, jit=None) -> None:
         self.capacity = capacity
         self.enabled = enabled
         self.injector = injector
+        #: Optional :class:`repro.evm.jit.tier.JitTier`.  Invalidation
+        #: reasons that change code identity ("reorg") propagate to the
+        #: tier from here, so every cache of derived execution
+        #: artifacts is dropped at one point.
+        self.jit = jit
         self._entries: "OrderedDict[tuple, PrefixEntry]" = OrderedDict()
         # -- instruments (core.stats / CLI surface these) ------------------
         obs = (registry or get_registry()).scope("prefix_cache")
@@ -106,6 +111,13 @@ class PrefixCache:
         self.c_redundant_instructions = obs.counter("redundant_instructions")
         self._g_entries = obs.gauge("entries")
         self._seen: set = set()
+        # Inverted indexes: tx hash -> keys pinning it (key[7] is the
+        # predecessor tuple).  evict_tx is called once per committed
+        # transaction on the node's critical path, so it must not scan
+        # the whole cache; these keep it proportional to the entries
+        # actually pinned.
+        self._by_tx: dict = {}
+        self._seen_by_tx: dict = {}
 
     # -- legacy counter views (read-only ints) ---------------------------
 
@@ -174,10 +186,30 @@ class PrefixCache:
             return  # contained locally: a store fault skips caching
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        for tx in self._preds(key):
+            self._by_tx.setdefault(tx, set()).add(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim, _ = self._entries.popitem(last=False)
+            self._unindex(self._by_tx, victim)
             self.c_evictions.inc()
         self._g_entries.set(len(self._entries))
+
+    @staticmethod
+    def _preds(key) -> tuple:
+        """The predecessor-hash tuple of a :func:`context_key` (empty
+        for the synthetic keys unit tests use)."""
+        if type(key) is tuple and len(key) == 8:
+            return key[7]
+        return ()
+
+    @classmethod
+    def _unindex(cls, index: dict, key: tuple) -> None:
+        for tx in cls._preds(key):
+            bucket = index.get(tx)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del index[tx]
 
     def note_execution(self, key: tuple, instructions: int) -> bool:
         """Record that ``key``'s prefix step was just executed; returns
@@ -189,6 +221,8 @@ class PrefixCache:
             self.c_redundant_instructions.inc(instructions)
         else:
             self._seen.add(key)
+            for tx in self._preds(key):
+                self._seen_by_tx.setdefault(tx, set()).add(key)
         return redundant
 
     def evict_tx(self, tx_hash: int) -> int:
@@ -200,13 +234,33 @@ class PrefixCache:
         chain beneath it — alive for no future benefit.  Returns the
         number of entries dropped.
         """
-        stale = [key for key in self._entries if tx_hash in key[7]]
-        for key in stale:
-            del self._entries[key]
-        self._seen = {key for key in self._seen if tx_hash not in key[7]}
+        stale = self._by_tx.pop(tx_hash, None)
+        dropped = 0
         if stale:
+            for key in stale:
+                if self._entries.pop(key, None) is not None:
+                    dropped += 1
+                for tx in self._preds(key):
+                    if tx != tx_hash:
+                        bucket = self._by_tx.get(tx)
+                        if bucket is not None:
+                            bucket.discard(key)
+                            if not bucket:
+                                del self._by_tx[tx]
+        seen_stale = self._seen_by_tx.pop(tx_hash, None)
+        if seen_stale:
+            for key in seen_stale:
+                self._seen.discard(key)
+                for tx in self._preds(key):
+                    if tx != tx_hash:
+                        bucket = self._seen_by_tx.get(tx)
+                        if bucket is not None:
+                            bucket.discard(key)
+                            if not bucket:
+                                del self._seen_by_tx[tx]
+        if dropped:
             self._g_entries.set(len(self._entries))
-        return len(stale)
+        return dropped
 
     def invalidate(self, reason: str = "") -> int:
         """Drop every entry (new canonical head / reorg); returns the
@@ -214,7 +268,16 @@ class PrefixCache:
         dropped = len(self._entries)
         self._entries.clear()
         self._seen.clear()
+        self._by_tx.clear()
+        self._seen_by_tx.clear()
         self._g_entries.set(0)
         if dropped:
             self.c_invalidations.inc()
+        if self.jit is not None and reason == "reorg":
+            # A reorg restores world contents in place: specialized
+            # closures (and decoded-program caches) may embed branch
+            # keys from the abandoned head, so they are invalidated
+            # alongside the prefix entries.  New-head invalidations do
+            # not qualify — closures read live state through guards.
+            self.jit.invalidate(reason)
         return dropped

@@ -204,7 +204,8 @@ class Speculator:
                  registry: Optional[MetricsRegistry] = None,
                  tracer=None,
                  injector=None,
-                 guard: Optional[SpeculationGuard] = None) -> None:
+                 guard: Optional[SpeculationGuard] = None,
+                 jit=None) -> None:
         self.world = world
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
         self.pass_config = pass_config
@@ -221,10 +222,16 @@ class Speculator:
         # speculator's deterministic logical-cost currency.
         self.guard.clock = lambda: self.total_logical_cost
         self.guard.charge_cost = self._charge_backoff
+        #: Optional :class:`repro.evm.jit.tier.JitTier` — the
+        #: trace-guided specialization compiler.  The speculator owns
+        #: the compile side (hot traces are known here); the
+        #: accelerator owns the execute side.
+        self.jit = jit
         self.prefix_cache = PrefixCache(
             capacity=prefix_cache_capacity, enabled=enable_prefix_cache,
             registry=registry,
-            injector=self.injector if self.injector.enabled else None)
+            injector=self.injector if self.injector.enabled else None,
+            jit=jit)
         #: The memo table: tx hash -> AcceleratedProgram, LRU-ordered.
         #: Bounded by ``memo_capacity`` (the long-sim unbounded-growth
         #: fix): recency updates happen at deterministic points of the
@@ -315,6 +322,21 @@ class Speculator:
             build_shortcuts(ap, self.memoization_strategy)
         self.guard.run("memoize.build", build, count_fallback=False)
 
+    def _jit_compile_contained(self, ap: AcceleratedProgram,
+                               tx: Transaction, deduped: bool) -> None:
+        """Specialization is a pure bonus, exactly like shortcuts: a
+        fault while compiling is contained locally (the AP simply stays
+        on the interpreted tier) instead of failing the speculation.
+        ``jit.compile`` is a custom chaos site: with no rule targeting
+        it the injector's early return leaves every counter untouched."""
+        if self.jit is None or not self.jit.enabled:
+            return
+        def build() -> None:
+            self.injector.maybe_raise("jit.compile", tx=tx.hash,
+                                      contract=tx.to)
+            self.jit.compile(ap, deduped=deduped)
+        self.guard.run("jit.compile", build, count_fallback=False)
+
     def _maybe_corrupt(self, ap: AcceleratedProgram,
                        tx: Transaction) -> None:
         """Payload-corruption sites (safe by construction): a corrupted
@@ -372,11 +394,19 @@ class Speculator:
             self._memo_event("evict", victim_hash)
         self.g_memo_size.set(len(self.aps))
 
-    def drop(self, tx_hash: int) -> None:
+    def drop(self, tx_hash: int, evict_prefixes: bool = True) -> None:
         """Forget a transaction's AP (e.g. after it was executed),
-        archiving its synthesis statistics for §5.5 reporting."""
+        archiving its synthesis statistics for §5.5 reporting.
+
+        ``evict_prefixes=False`` skips the per-transaction prefix-cache
+        sweep; it is only correct when the caller invalidates the whole
+        cache immediately afterwards (the node's block loop does — the
+        commit bumps the world version and every prefix entry dies with
+        it), keeping that sweep off the critical path.
+        """
         self._dedup.pop(tx_hash, None)
-        self.prefix_cache.evict_tx(tx_hash)
+        if evict_prefixes:
+            self.prefix_cache.evict_tx(tx_hash)
         ap = self.aps.pop(tx_hash, None)
         if ap is not None:
             self._archive_ap(ap)
@@ -684,6 +714,11 @@ class Speculator:
         with self.tracer.span("merge") as sp:
             self.injector.maybe_raise("speculator.merge",
                                       tx=tx.hash, contract=tx.to)
+            if self.jit is not None:
+                # Merging/pruning/shortcut-building mutates the tree: a
+                # previously compiled closure is stale the moment the
+                # merge starts, so drop it first (recompiled below).
+                self.jit.release(ap)
             merged = merge_path(ap, path, self._merge_metrics)
             if merged:
                 prune_tree(ap, self._merge_metrics)
@@ -698,6 +733,10 @@ class Speculator:
             # rejected structure.
             if fingerprint is not None and cached_path is None:
                 self._dedup_store(tx.hash, fingerprint, path)
+            # Compile last: corruption sites and shortcut building have
+            # all run, so the closure bakes a consistent tree snapshot.
+            self._jit_compile_contained(ap, tx,
+                                        deduped=cached_path is not None)
         root_span.set(outcome="merged" if merged else "merge-failed",
                       deduped=cached_path is not None)
         root_span.add_cost(actual_cost)

@@ -13,6 +13,7 @@ memory-expansion cost, and no precompiles/CREATE.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -113,7 +114,66 @@ class _Frame:
         self.program = _decode_program(code)
 
 
-_JUMPDEST_CACHE: dict = {}
+class _CodeCache:
+    """Deterministic bounded LRU for per-code-blob decoded artifacts.
+
+    Keys are the code bytes themselves (content-addressed, so entries
+    can never be *stale*); the bound and the versioned
+    :func:`invalidate_code_caches` hook exist so long simulations
+    cannot grow the cache without limit and so redeploy/reorg handling
+    has a single "forget derived code artifacts" point shared with the
+    specialization tier.  Recency updates happen at deterministic
+    execution points, so eviction order is a pure function of the
+    workload (same discipline as the speculator's memo table).
+    """
+
+    __slots__ = ("capacity", "entries")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self.entries: "OrderedDict[bytes, object]" = OrderedDict()
+
+    def get(self, key: bytes):
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.entries.move_to_end(key)
+        return entry
+
+    def put(self, key: bytes, value) -> None:
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+_JUMPDEST_CACHE = _CodeCache()
+
+#: Bumped by :func:`invalidate_code_caches`; exposed for tests and the
+#: jit tier, which versions its artifacts in lockstep.
+CODE_CACHE_VERSION = 0
+
+
+def invalidate_code_caches(reason: str = "") -> int:
+    """Drop every decoded-program / jumpdest artifact and bump the
+    version (contract redeploy or reorg: derived artifacts must not
+    outlive the code identity assumptions they were built under)."""
+    del reason  # descriptive only; kept for call-site readability
+    global CODE_CACHE_VERSION
+    CODE_CACHE_VERSION += 1
+    _JUMPDEST_CACHE.clear()
+    _PROGRAM_CACHE.clear()
+    return CODE_CACHE_VERSION
+
+
+def code_cache_sizes() -> Tuple[int, int]:
+    """(jumpdest, program) cache entry counts, for tests/diagnostics."""
+    return len(_JUMPDEST_CACHE), len(_PROGRAM_CACHE)
 
 
 def _valid_jumpdests(code: bytes) -> frozenset:
@@ -136,12 +196,11 @@ def _valid_jumpdests(code: bytes) -> frozenset:
             i += opcodes.push_size(op)
         i += 1
     result = frozenset(dests)
-    if len(_JUMPDEST_CACHE) < 4096:
-        _JUMPDEST_CACHE[code] = result
+    _JUMPDEST_CACHE.put(code, result)
     return result
 
 
-_PROGRAM_CACHE: dict = {}
+_PROGRAM_CACHE = _CodeCache()
 
 
 def _push_entry(op: int, value: int, next_pc: int):
@@ -208,8 +267,7 @@ def _decode_program(code: bytes):
             handler = _unimplemented_entry(info.name)
         program[i] = (handler, info)
         i += 1
-    if len(_PROGRAM_CACHE) < 4096:
-        _PROGRAM_CACHE[code] = program
+    _PROGRAM_CACHE.put(code, program)
     return program
 
 
@@ -235,6 +293,15 @@ class EvmMetrics:
         self.write_ops.inc(evm.write_op_count)
 
 
+#: When True (default), an EVM whose tracer is the no-op base
+#: :class:`Tracer` skips StepRecord construction entirely in
+#: :meth:`EVM._emit` — the single largest interpreter overhead on the
+#: commit path (~30% of `_run`), and pure waste when nobody observes
+#: the records.  Semantics are identical either way; the flag exists
+#: as the A/B knob for ``benchmarks/test_interp_hotpath.py``.
+FAST_EMIT = True
+
+
 class EVM:
     """Executes messages against a StateDB in a block context.
 
@@ -250,6 +317,7 @@ class EVM:
         tracer: Optional[Tracer] = None,
         blockhash_fn: Optional[Callable[[int], int]] = None,
         obs: Optional[EvmMetrics] = None,
+        fast_emit: Optional[bool] = None,
     ) -> None:
         self.state = state
         self.header = header
@@ -264,6 +332,12 @@ class EVM:
         #: Count of state-write operations (SSTORE/LOG): these carry
         #: journaling/commit work beyond plain interpretation.
         self.write_op_count = 0
+        if fast_emit is None:
+            fast_emit = FAST_EMIT
+        if fast_emit and type(self.tracer) is Tracer:
+            # No observer: shadow _emit with the counting-only fast
+            # path (instance attribute wins over the class method).
+            self._emit = self._emit_fast
 
     # -- transaction entry point -------------------------------------------
 
@@ -459,6 +533,13 @@ class EVM:
         )
         self._step_index += 1
         self.tracer.on_step(record)
+
+    def _emit_fast(self, frame: _Frame, pc: int, op: int, name: str,
+                   inputs: Tuple[int, ...], output: Optional[int],
+                   gas_cost: int, **extra) -> None:
+        """No-op-tracer fast path: keep the counters, skip the record."""
+        self.instruction_count += 1
+        self._step_index += 1
 
     # pylint: disable=too-many-branches,too-many-statements
     def _execute_op(self, frame: _Frame, op: int,

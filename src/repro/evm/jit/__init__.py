@@ -1,0 +1,27 @@
+"""Two-layer compile tier (ROADMAP open item: closing the wall-clock
+inversion).
+
+Layer 1 (:mod:`repro.evm.jit.specialize` + :mod:`repro.evm.jit.tier`)
+compiles hot AP trees into specialized straight-line Python closures;
+Layer 2 (:mod:`repro.evm.jit.peephole`) is a window-rule
+superoptimizer over minisol codegen output.  See docs/COMPILER.md.
+"""
+
+from repro.evm.jit.peephole import PeepholeStats, optimize_assembly
+from repro.evm.jit.specialize import (
+    HOT_OPS,
+    CompiledAP,
+    SpecializeAbort,
+    compile_ap,
+)
+from repro.evm.jit.tier import JitTier
+
+__all__ = [
+    "CompiledAP",
+    "HOT_OPS",
+    "JitTier",
+    "PeepholeStats",
+    "SpecializeAbort",
+    "compile_ap",
+    "optimize_assembly",
+]

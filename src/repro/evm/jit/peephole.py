@@ -1,0 +1,303 @@
+"""Layer 2 of the compile tier: a peephole superoptimizer for minisol.
+
+Operates on the assembly *text* the minisol code generator emits,
+before :func:`repro.evm.assembler.assemble` turns it into bytecode
+(the shape argued for in *Blockchain Superoptimizer*, see PAPERS.md:
+EVM stack code is full of locally-removable push/pop traffic).
+
+Window rules are applied to fixpoint, and windows never cross a basic
+block boundary — a ``label:`` line or a ``JUMPDEST`` instruction —
+because those positions can be reached from elsewhere.  The pass
+assumes (and minisol's code generator guarantees) that every jump
+target is a ``PUSH @label``: raw numeric jump targets would make the
+unreachable-code rule unsound, so this pass must only run on minisol
+codegen output.
+
+Rule catalog (see docs/COMPILER.md):
+
+==================  =====================================================
+rule                rewrite
+==================  =====================================================
+``push-pop``        ``PUSH x; POP`` -> (nothing)
+``dup-pop``         ``DUPn; POP`` -> (nothing)
+``swap-swap``       ``SWAPn; SWAPn`` -> (nothing)
+``push-swap``       ``PUSH a; PUSH b; SWAP1`` -> ``PUSH b; PUSH a``
+``fold-const``      ``PUSH a; PUSH b; <binop>`` -> ``PUSH sem(b, a)``
+``fold-unary``      ``PUSH a; ISZERO|NOT`` -> ``PUSH sem(a)``
+``identity``        ``PUSH 0; ADD|OR|XOR`` / ``PUSH 1; MUL`` -> (nothing)
+``const-jumpi``     ``PUSH c; PUSH @L; JUMPI`` -> ``PUSH @L; JUMP`` (c!=0)
+``dead-jumpi``      ``PUSH 0; PUSH @L; JUMPI`` -> (nothing)
+``unreachable``     drop instructions after JUMP/STOP/RETURN/REVERT
+                    until the next label or JUMPDEST
+``dead-label``      drop an unreferenced ``label:`` plus its JUMPDEST
+==================  =====================================================
+
+Every rule is individually verified by differential execution in
+``tests/test_specialize_conformance.py``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.evm.interpreter import COMPUTE_SEMANTICS
+from repro.evm.opcodes import NAME_TO_OP
+
+#: Two-operand pure ops safe to fold; semantics come straight from the
+#: interpreter's COMPUTE_SEMANTICS table (fold == execute).
+_FOLD_BINARY = {
+    name: COMPUTE_SEMANTICS[code]
+    for name, code in NAME_TO_OP.items()
+    if code in COMPUTE_SEMANTICS
+    and name in ("ADD", "MUL", "SUB", "DIV", "SDIV", "MOD", "SMOD",
+                 "EXP", "SIGNEXTEND", "LT", "GT", "SLT", "SGT", "EQ",
+                 "AND", "OR", "XOR", "BYTE", "SHL", "SHR", "SAR")
+}
+_FOLD_UNARY = {
+    name: COMPUTE_SEMANTICS[NAME_TO_OP[name]]
+    for name in ("ISZERO", "NOT")
+}
+
+_TERMINATORS = ("JUMP", "STOP", "RETURN", "REVERT")
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_DUP_RE = re.compile(r"^DUP([0-9]+)$")
+_SWAP_RE = re.compile(r"^SWAP([0-9]+)$")
+
+
+@dataclass
+class _Item:
+    """One parsed assembly line."""
+
+    kind: str            # "label" | "push" | "pushlabel" | "op" | "other"
+    name: str = ""       # mnemonic or label name
+    value: int = 0       # push immediate
+    text: str = ""       # original line (re-emitted when untouched)
+
+    @classmethod
+    def push(cls, value: int) -> "_Item":
+        return cls("push", name="PUSH", value=value,
+                   text=f"PUSH {value}")
+
+    @classmethod
+    def pushlabel(cls, label: str) -> "_Item":
+        return cls("pushlabel", name=label, text=f"PUSH @{label}")
+
+    @classmethod
+    def op(cls, name: str) -> "_Item":
+        return cls("op", name=name, text=name)
+
+
+@dataclass
+class PeepholeStats:
+    """What one :func:`optimize_assembly` run did."""
+
+    rules: Dict[str, int] = field(default_factory=dict)
+    instructions_before: int = 0
+    instructions_after: int = 0
+    passes: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.instructions_before - self.instructions_after
+
+    def hit(self, rule: str, count: int = 1) -> None:
+        self.rules[rule] = self.rules.get(rule, 0) + count
+
+
+def _parse(text: str) -> List[_Item]:
+    items: List[_Item] = []
+    for raw in text.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            items.append(_Item("label", name=match.group(1), text=line))
+            continue
+        parts = line.split()
+        mnemonic = parts[0].upper()
+        if mnemonic.startswith("PUSH") and len(parts) == 2:
+            operand = parts[1]
+            if operand.startswith("@"):
+                items.append(_Item("pushlabel", name=operand[1:],
+                                   text=line))
+            else:
+                items.append(_Item("push", name=mnemonic,
+                                   value=int(operand, 0), text=line))
+            continue
+        items.append(_Item("op", name=mnemonic, text=line))
+    return items
+
+
+def _is_barrier(item: _Item) -> bool:
+    """May control flow enter *at* this item from elsewhere?"""
+    return (item.kind == "label"
+            or (item.kind == "op" and item.name == "JUMPDEST"))
+
+
+def _is_instruction(item: _Item) -> bool:
+    return item.kind in ("push", "pushlabel", "op")
+
+
+def _is_any_push(item: _Item) -> bool:
+    return item.kind in ("push", "pushlabel")
+
+
+def _window_pass(items: List[_Item], stats: PeepholeStats) -> bool:
+    """One left-to-right sweep of the window rules; True if changed."""
+    out: List[_Item] = []
+    i = 0
+    changed = False
+    n = len(items)
+    while i < n:
+        a = items[i]
+        b = items[i + 1] if i + 1 < n else None
+        c = items[i + 2] if i + 2 < n else None
+
+        # Windows must not contain a barrier after their first item.
+        b_ok = b is not None and not _is_barrier(b)
+        c_ok = c is not None and not _is_barrier(c)
+
+        if (_is_any_push(a) or (a.kind == "op" and _DUP_RE.match(a.name))) \
+                and b_ok and b.kind == "op" and b.name == "POP":
+            stats.hit("push-pop" if _is_any_push(a) else "dup-pop")
+            i += 2
+            changed = True
+            continue
+        if (a.kind == "op" and _SWAP_RE.match(a.name)
+                and b_ok and b.kind == "op" and b.name == a.name):
+            stats.hit("swap-swap")
+            i += 2
+            changed = True
+            continue
+        if (_is_any_push(a) and b_ok and _is_any_push(b)
+                and c_ok and c.kind == "op" and c.name == "SWAP1"):
+            stats.hit("push-swap")
+            out.append(b)
+            out.append(a)
+            i += 3
+            changed = True
+            continue
+        if (a.kind == "push" and b_ok and b.kind == "push"
+                and c_ok and c.kind == "op" and c.name in _FOLD_BINARY):
+            # Stack is [.., a, b(top)]; the op pops top first, so the
+            # interpreter computes sem(b, a).
+            stats.hit("fold-const")
+            out.append(_Item.push(_FOLD_BINARY[c.name](b.value, a.value)))
+            i += 3
+            changed = True
+            continue
+        if (a.kind == "push" and b_ok and b.kind == "op"
+                and b.name in _FOLD_UNARY):
+            stats.hit("fold-unary")
+            out.append(_Item.push(_FOLD_UNARY[b.name](a.value)))
+            i += 2
+            changed = True
+            continue
+        if (a.kind == "push" and b_ok and b.kind == "op"
+                and ((a.value == 0 and b.name in ("ADD", "OR", "XOR"))
+                     or (a.value == 1 and b.name == "MUL"))):
+            stats.hit("identity")
+            i += 2
+            changed = True
+            continue
+        if (a.kind == "push" and b_ok and b.kind == "pushlabel"
+                and c_ok and c.kind == "op" and c.name == "JUMPI"):
+            if a.value == 0:
+                stats.hit("dead-jumpi")
+            else:
+                stats.hit("const-jumpi")
+                out.append(b)
+                out.append(_Item.op("JUMP"))
+            i += 3
+            changed = True
+            continue
+        out.append(a)
+        i += 1
+    items[:] = out
+    return changed
+
+
+def _unreachable_pass(items: List[_Item], stats: PeepholeStats) -> bool:
+    """Drop instructions after an unconditional terminator until the
+    next barrier (label / JUMPDEST): nothing can reach them."""
+    out: List[_Item] = []
+    dead = False
+    dropped = 0
+    for item in items:
+        if _is_barrier(item):
+            dead = False
+        if dead and _is_instruction(item):
+            dropped += 1
+            continue
+        out.append(item)
+        if item.kind == "op" and item.name in _TERMINATORS:
+            dead = True
+    if dropped:
+        stats.hit("unreachable", dropped)
+        items[:] = out
+        return True
+    return False
+
+
+def _dead_label_pass(items: List[_Item], stats: PeepholeStats) -> bool:
+    """Remove unreferenced labels and their (now-unreachable from a
+    jump) JUMPDEST — only when the JUMPDEST immediately follows the
+    label, which is how the minisol codegen always emits them, and only
+    when falling *through* the JUMPDEST is impossible (the preceding
+    instruction is an unconditional terminator or nothing)."""
+    referenced = {item.name for item in items if item.kind == "pushlabel"}
+    out: List[_Item] = []
+    changed = False
+    i = 0
+    n = len(items)
+    while i < n:
+        item = items[i]
+        if item.kind == "label" and item.name not in referenced:
+            prev_instr: Optional[_Item] = None
+            for back in reversed(out):
+                if _is_instruction(back):
+                    prev_instr = back
+                    break
+                if back.kind == "label":
+                    prev_instr = None
+                    break
+            nxt = items[i + 1] if i + 1 < n else None
+            unreachable = (prev_instr is not None
+                           and prev_instr.kind == "op"
+                           and prev_instr.name in _TERMINATORS)
+            if (unreachable and nxt is not None and nxt.kind == "op"
+                    and nxt.name == "JUMPDEST"):
+                stats.hit("dead-label")
+                i += 2
+                changed = True
+                continue
+            # Keep an unreferenced label alone: it emits no bytes.
+        out.append(item)
+        i += 1
+    if changed:
+        items[:] = out
+    return changed
+
+
+def optimize_assembly(text: str,
+                      max_passes: int = 16
+                      ) -> Tuple[str, PeepholeStats]:
+    """Apply the peephole rules to fixpoint; returns (text, stats)."""
+    items = _parse(text)
+    stats = PeepholeStats(
+        instructions_before=sum(1 for it in items if _is_instruction(it)))
+    for _ in range(max_passes):
+        stats.passes += 1
+        changed = _window_pass(items, stats)
+        changed = _unreachable_pass(items, stats) or changed
+        changed = _dead_label_pass(items, stats) or changed
+        if not changed:
+            break
+    stats.instructions_after = sum(
+        1 for it in items if _is_instruction(it))
+    lines = [item.text for item in items]
+    return "\n".join(lines) + ("\n" if lines else ""), stats

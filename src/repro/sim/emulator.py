@@ -22,6 +22,7 @@ and surface only through the ``wall_seconds_*`` convenience properties.
 
 from __future__ import annotations
 
+import gc as _gc
 import heapq
 import time as _time
 from dataclasses import dataclass, field, replace as _dc_replace
@@ -219,6 +220,12 @@ def replay(dataset: Dataset, observer: str = "live",
             # One last speculation chance before the block executes
             # (the paper's window spans up to the execution moment).
             run.speculation_jobs += forerunner.run_speculation(now)
+            # Drain the speculation phase's garbage before timing: a
+            # gen-2 collection triggered by speculation allocations
+            # would otherwise land inside whichever node's window
+            # allocates next (observed as multi-ms spikes on the
+            # Forerunner side, which always runs second).
+            _gc.collect()
             started = _time.perf_counter()
             base_report: BlockReport = baseline.process_block(payload)
             mid = _time.perf_counter()

@@ -55,6 +55,27 @@ def state_root(accounts: Dict[int, Account]) -> int:
     return _merkle_fold(leaves)
 
 
+def state_root_cached(accounts: Dict[int, Account],
+                      leaf_cache: Dict[int, int]) -> int:
+    """:func:`state_root` with memoized account leaves.
+
+    ``leaf_cache`` maps address -> leaf hash; the caller owns it and
+    must drop an address whenever its committed account object is
+    replaced (:meth:`repro.state.world.WorldState.apply` does).  Leaf
+    hashes are pure functions of (address, account contents), so a
+    cached entry is valid for as long as the account object is not
+    mutated — the commit protocol always installs fresh objects.
+    """
+    leaves = []
+    for addr in sorted(accounts):
+        leaf = leaf_cache.get(addr)
+        if leaf is None:
+            leaf = account_hash(addr, accounts[addr])
+            leaf_cache[addr] = leaf
+        leaves.append(leaf)
+    return _merkle_fold(leaves)
+
+
 def trie_depth(num_entries: int) -> int:
     """Approximate node-walk depth of a trie holding ``num_entries`` keys.
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.state.account import Account
-from repro.state.trie import state_root, trie_depth
+from repro.state.trie import state_root_cached, trie_depth
 
 
 class WorldState:
@@ -22,6 +22,14 @@ class WorldState:
         #: world (the speculator's prefix cache) embed the version in
         #: their keys, so any commit implicitly invalidates them.
         self.version = 0
+        #: Memoized Merkle leaves (address -> leaf hash), invalidated
+        #: per address whenever the committed account object is
+        #: replaced.  Commits install fresh Account copies, so a cached
+        #: leaf can only go stale through in-place mutation of a
+        #: committed account — which nothing does after the first
+        #: root() computation (genesis builders mutate before it).
+        self._leaf_cache: Dict[int, int] = {}
+        self._root_cache: Optional[tuple] = None
 
     # -- access -----------------------------------------------------------
 
@@ -46,6 +54,7 @@ class WorldState:
         """Create (or overwrite) an account; returns it."""
         account = Account(balance=balance, code=code)
         self._accounts[address] = account
+        self._leaf_cache.pop(address, None)
         self.version += 1
         return account
 
@@ -53,12 +62,16 @@ class WorldState:
         """Commit a finished execution's dirty accounts."""
         for address, account in dirty.items():
             self._accounts[address] = account
+            self._leaf_cache.pop(address, None)
         self.version += 1
 
     def copy(self) -> "WorldState":
         """Deep copy; used by the recorder/emulator to reset state (§5.4)."""
         clone = WorldState()
         clone._accounts = {a: acct.copy() for a, acct in self._accounts.items()}
+        # Leaf hashes depend only on (address, contents), which the
+        # deep copy preserves.
+        clone._leaf_cache = dict(self._leaf_cache)
         return clone
 
     def replace_contents(self, source: "WorldState") -> None:
@@ -72,6 +85,8 @@ class WorldState:
         abandoned timeline.
         """
         self._accounts.clear()
+        self._leaf_cache.clear()
+        self._root_cache = None
         for address, account in source._accounts.items():
             self._accounts[address] = account.copy()
         self.version += 1
@@ -79,8 +94,18 @@ class WorldState:
     # -- commitment -------------------------------------------------------
 
     def root(self) -> int:
-        """Merkle root of the committed state (correctness check, §5.2)."""
-        return state_root(self._accounts)
+        """Merkle root of the committed state (correctness check, §5.2).
+
+        Incremental: account leaves are memoized and only the accounts
+        replaced since the last commit are re-hashed; repeated calls at
+        the same version return the cached root outright.
+        """
+        cached = self._root_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        root = state_root_cached(self._accounts, self._leaf_cache)
+        self._root_cache = (self.version, root)
+        return root
 
     def account_trie_depth(self) -> int:
         """Approximate depth of the account trie (for the disk model)."""

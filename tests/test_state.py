@@ -32,8 +32,49 @@ def test_world_root_changes_with_state():
     world = WorldState()
     world.create_account(1, balance=10)
     root1 = world.root()
-    world.get_account(1).balance = 11
+    world.apply({1: Account(balance=11)})
     assert world.root() != root1
+
+
+def test_world_root_incremental_matches_full():
+    """The memoized root equals a from-scratch recomputation after
+    every commit path (apply / create_account / replace_contents)."""
+    world = WorldState()
+    world.create_account(1, balance=10)
+    world.create_account(2, balance=20, code=b"\x60\x00")
+    world.get_account(2).set_storage(3, 7)  # genesis-style, pre-root
+    assert world.root() == state_root(world.accounts())
+    world.apply({1: Account(balance=11, storage={9: 1})})
+    assert world.root() == state_root(world.accounts())
+    world.create_account(5, balance=1)
+    assert world.root() == state_root(world.accounts())
+    other = WorldState()
+    other.create_account(8, balance=3)
+    world.replace_contents(other)
+    assert world.root() == state_root(world.accounts())
+    assert world.root() == other.root()
+
+
+def test_world_root_cached_at_same_version():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    assert world.root() == world.root()
+    version = world.version
+    world.apply({2: Account(balance=5)})
+    assert world.version != version
+    assert world.root() == state_root(world.accounts())
+
+
+def test_world_copy_preserves_root():
+    world = WorldState()
+    world.create_account(1, balance=10)
+    world.get_account(1).set_storage(2, 3)
+    root = world.root()
+    clone = world.copy()
+    assert clone.root() == root
+    clone.apply({1: Account(balance=99)})
+    assert clone.root() != root
+    assert world.root() == root
 
 
 def test_world_root_order_independent():
