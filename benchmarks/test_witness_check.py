@@ -1,0 +1,120 @@
+"""Witness checker cost: validation without re-execution.
+
+The checker's bet (and the acceptance gate): re-deriving every
+accepted speculative result from its witness — constraint replay plus
+delta application — costs <= 20% of the cost units the original
+execution charged.  Emitted to ``BENCH_witness.json``:
+
+* cost units charged by the witness checker vs the execution tiers,
+  overall and on the speculative (satisfied-outcome) slice;
+* witness stream size (constraints / delta rows per witness);
+* wall-clock of replay-with-witnesses vs replay-without (trend only;
+  the assertions gate exclusively on deterministic cost units).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench import ascii_table, write_report
+from repro.core.node import ForerunnerConfig
+from repro.core.stats import witness_report
+from repro.p2p.latency import LatencyModel
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.witness import WitnessChecker
+from repro.workloads.mixed import TrafficConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DURATION = float(os.environ.get("REPRO_BENCH_SCALE", "60"))
+
+
+@pytest.fixture(scope="module")
+def witness_dataset():
+    return record_dataset(DatasetConfig(
+        name="witness-bench",
+        traffic=TrafficConfig(duration=DURATION, seed=71),
+        observers={"live": LatencyModel()}, seed=71))
+
+
+def _validate(dataset, run):
+    node = run.forerunner_node
+    by_block: dict = {}
+    for witness in node.witnesses:
+        by_block.setdefault(witness.block_number, []).append(witness)
+    headers = {block.number: block.header
+               for _, block in dataset.blocks}
+    checker = WitnessChecker(dataset.genesis_world.copy())
+    return checker.validate_run(
+        [(headers[report.block_number],
+          by_block.get(report.block_number, []), report.state_root)
+         for report in node.reports])
+
+
+def test_witness_check_cost(witness_dataset):
+    dataset = witness_dataset
+
+    started = time.perf_counter()
+    run = replay(dataset, "live",
+                 config=ForerunnerConfig(enable_witness=True))
+    with_witness_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    plain = replay(dataset, "live",
+                   config=ForerunnerConfig(enable_witness=False))
+    without_witness_wall = time.perf_counter() - started
+
+    # Recording witnesses must not perturb commitments.
+    assert (run.forerunner_node.world.root()
+            == plain.forerunner_node.world.root())
+
+    validation = _validate(dataset, run)
+    assert validation.ok, [f.as_dict() for f in validation.failures]
+    assert validation.witnesses == sum(
+        len(report.records) for report in run.forerunner_node.reports)
+
+    # The acceptance gate: speculative results re-validated at <= 20%
+    # of their execution cost, and a healthy margin overall.
+    spec_ratio = validation.speculative_cost_ratio()
+    assert validation.speculative_witnesses > 0
+    assert spec_ratio <= 0.2, (
+        f"checker cost ratio {spec_ratio:.2%} exceeds the 20% bound")
+
+    stream = witness_report(run.forerunner_node.witnesses)
+    rows = [
+        ["witnesses", validation.witnesses, ""],
+        ["constraints replayed", validation.constraints_checked, ""],
+        ["delta rows applied", validation.deltas_applied, ""],
+        ["blocks re-derived",
+         f"{validation.roots_matched}/{validation.blocks_checked}", ""],
+        ["checker cost units", validation.checker_cost_units,
+         f"{validation.cost_ratio():.2%} of execution"],
+        ["speculative slice", validation.speculative_witnesses,
+         f"{spec_ratio:.2%} of execution (bound 20%)"],
+    ]
+    report = ascii_table(
+        ["Measure", "Value", "Ratio"], rows,
+        title="Witness checker: validation without re-execution")
+    report += (f"\n\nwall-clock: {with_witness_wall:.2f}s with "
+               f"witnesses vs {without_witness_wall:.2f}s without "
+               f"(machine-dependent; assertions use cost units only)")
+    write_report("witness_check", report)
+
+    payload = {
+        "duration": DURATION,
+        "validation": validation.as_dict(),
+        "stream": stream.as_dict(),
+        "wall_seconds": {
+            "with_witness": round(with_witness_wall, 3),
+            "without_witness": round(without_witness_wall, 3),
+        },
+    }
+    with open(os.path.join(REPO_ROOT, "BENCH_witness.json"), "w",
+              encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -15,6 +15,11 @@ Commands:
 * ``crash``     — kill the node at every durability boundary
   (journal appends, fsyncs, snapshot writes, block commits), recover,
   and verify restart replay converges byte-identically.
+* ``verify``    — replay a workload with witnesses on, re-derive every
+  committed result via the witness checker (constraint replay + delta
+  application, no re-execution), and run the differential conformance
+  oracle; ``--json`` emits the canonical report, ``--witness-out``
+  writes the byte-stable witness JSONL artifact.
 * ``history``   — print the Figure 2 block-saturation series.
 * ``report``    — record + replay a workload and print the stage
   breakdown; ``--metrics`` dumps the deterministic metrics snapshot,
@@ -409,6 +414,104 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     return 0 if report["converged"] else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.node import ForerunnerConfig
+    from repro.obs.export import canonical_json, export_witness_jsonl
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.emulator import replay
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.witness import WitnessChecker, run_oracle
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="verify",
+        traffic=TrafficConfig(duration=args.duration, seed=args.seed),
+        observers={"live": LatencyModel()},
+        seed=args.seed)
+    dataset = record_dataset(config)
+    node_config = ForerunnerConfig(enable_jit=not args.no_jit,
+                                   enable_witness=True)
+    run = replay(dataset, args.observer, config=node_config)
+    node = run.forerunner_node
+
+    # Every committed transaction must carry a witness.
+    executed = sum(len(report.records) for report in node.reports)
+    covered = len(node.witnesses) == executed
+
+    # Reconstruct the chain from witnesses alone on a shadow copy of
+    # genesis: constraint replay + delta application, no re-execution.
+    by_block: dict = {}
+    for witness in node.witnesses:
+        by_block.setdefault(witness.block_number, []).append(witness)
+    headers = {block.number: block.header
+               for _, block in dataset.blocks}
+    blocks = [(headers[report.block_number],
+               by_block.get(report.block_number, []),
+               report.state_root)
+              for report in node.reports]
+    checker = WitnessChecker(dataset.genesis_world.copy())
+    validation = checker.validate_run(blocks)
+    spec_ratio = validation.speculative_cost_ratio()
+    cost_ok = spec_ratio <= args.max_cost_ratio
+
+    oracle_seeds = [int(s) for s in args.oracle_seeds.split(",") if s]
+    oracle_reports = [run_oracle(seed, cases=args.oracle_cases)
+                      for seed in oracle_seeds]
+    oracle_ok = all(report.ok for report in oracle_reports)
+    ok = validation.ok and covered and cost_ok and oracle_ok
+
+    if args.as_json:
+        payload = {
+            "dataset": dataset.name,
+            "seed": args.seed,
+            "duration": args.duration,
+            "transactions": executed,
+            "witness_coverage": covered,
+            "validation": validation.as_dict(),
+            "oracle": [report.as_dict() for report in oracle_reports],
+            "ok": ok,
+        }
+        print(canonical_json(payload))
+    else:
+        print(f"verify: {executed} txs / {len(node.reports)} blocks "
+              f"(seed {args.seed})")
+        print(f"  witness coverage: {len(node.witnesses)}/{executed} "
+              f"{'OK' if covered else 'MISSING WITNESSES'}")
+        print(f"  checker: {validation.constraints_checked} constraints "
+              f"replayed, {validation.deltas_applied} deltas applied, "
+              f"roots matched {validation.roots_matched}/"
+              f"{validation.blocks_checked}")
+        print(f"  checker cost: {validation.checker_cost_units:,} of "
+              f"{validation.original_cost_units:,} execution units "
+              f"({validation.cost_ratio():.2%} overall, "
+              f"{spec_ratio:.2%} on the "
+              f"{validation.speculative_witnesses} speculative txs; "
+              f"bound {args.max_cost_ratio:.0%} "
+              f"{'OK' if cost_ok else 'EXCEEDED'})")
+        for failure in validation.failures[:10]:
+            print(f"  FAILURE {failure.as_dict()}")
+        for report in oracle_reports:
+            cats = "/".join(f"{k}:{v}" for k, v in
+                            sorted(report.by_category.items()))
+            print(f"  oracle seed {report.seed}: {report.cases} cases "
+                  f"({cats}), jit {report.jit_compiled} compiled / "
+                  f"{report.jit_aborts} aborted, "
+                  f"{report.evm_cross_checks} interpreter cross-checks, "
+                  f"{len(report.divergences)} divergences")
+            for divergence in report.divergences[:5]:
+                print(f"    DIVERGENCE {canonical_json(divergence)}")
+        print(f"  result: {'OK' if ok else 'FAILED'}")
+    if args.witness_out:
+        written = export_witness_jsonl(
+            args.witness_out, node.witnesses,
+            meta={"dataset": dataset.name, "seed": args.seed,
+                  "duration": args.duration})
+        if not args.as_json:
+            print(f"  wrote {written} witness lines -> "
+                  f"{args.witness_out}")
+    return 0 if ok else 1
+
+
 def _cmd_history(args: argparse.Namespace) -> int:
     from repro.bench.history import simulate_block_history
 
@@ -546,6 +649,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "canonical JSON (byte-identical for a "
                             "given seed; contains no paths)")
     crash.set_defaults(func=_cmd_crash)
+
+    verify = sub.add_parser(
+        "verify",
+        help="replay a workload with witnesses on, re-derive every "
+             "result by constraint replay + delta application (no "
+             "re-execution), and run the differential conformance "
+             "oracle")
+    verify.add_argument("--duration", type=float, default=45.0,
+                        help="seconds of simulated traffic")
+    verify.add_argument("--seed", type=int, default=2021)
+    verify.add_argument("--observer", default="live")
+    verify.add_argument("--oracle-seeds", default="0,1,2",
+                        metavar="S,S,...",
+                        help="comma-separated conformance oracle seeds")
+    verify.add_argument("--oracle-cases", type=int, default=200,
+                        help="generated cases per oracle seed (the "
+                             "directed edge cases always run first)")
+    verify.add_argument("--max-cost-ratio", type=float, default=0.2,
+                        help="maximum checker/execution cost-unit "
+                             "ratio on the speculative (satisfied) "
+                             "slice")
+    verify.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the verification report as "
+                             "canonical JSON (byte-identical for a "
+                             "given seed)")
+    verify.add_argument("--witness-out", default=None, metavar="PATH",
+                        help="write the canonical witness JSONL "
+                             "artifact here (two runs produce "
+                             "byte-identical files)")
+    verify.add_argument("--no-jit", action="store_true",
+                        help="disable the specialization compile tier; "
+                             "witnesses and roots must stay "
+                             "byte-identical either way")
+    verify.set_defaults(func=_cmd_verify)
 
     history = sub.add_parser(
         "history", help="print the Figure-2 saturation series")

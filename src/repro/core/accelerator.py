@@ -23,6 +23,7 @@ from repro.core.costmodel import CostTally
 from repro.errors import ConstraintViolation, InsufficientBalance
 from repro.evm.interpreter import EVM, ExecutionResult
 from repro.state.statedb import StateDB
+from repro.witness.recorder import ReadSetRecorder
 
 #: Outcome labels (Table 3's prediction-outcome breakdown).
 OUTCOME_NO_AP = "no_ap"          # heard/unheard but nothing speculated
@@ -46,6 +47,13 @@ class AcceleratedReceipt:
     #: (non-empty => the traditional "perfect prediction" would have hit).
     perfect_context_ids: Tuple[int, ...] = ()
     used_ap: bool = False
+    #: Which execution tier produced the result: "plain" (full EVM),
+    #: "walk" (interpreted AP), or "jit" (specialized closure).
+    tier: str = "plain"
+    #: Context values the execution observed, in read-set convention
+    #: ((kind, key) -> value).  The AP tiers collect these anyway; the
+    #: plain path fills them only when witness recording is on.
+    observed_reads: Optional[Dict[tuple, int]] = None
 
 
 def context_matches(read_set: Dict[tuple, int], state: StateDB,
@@ -75,12 +83,18 @@ class TransactionAccelerator:
     """Executes transactions, preferring accelerated programs."""
 
     def __init__(self, blockhash_fn: Optional[Callable[[int], int]] = None,
-                 jit=None) -> None:
+                 jit=None, record_witnesses: bool = False) -> None:
         self.blockhash_fn = blockhash_fn or (lambda n: 0)
         #: Optional :class:`repro.evm.jit.tier.JitTier`: AP execution
         #: routes through the tier (specialized closure when a valid
         #: artifact exists, the interpreted walker otherwise).
         self.jit = jit
+        #: When on, plain executions trace their context read set (via
+        #: :class:`repro.witness.recorder.ReadSetRecorder`) so every
+        #: receipt carries witness constraints.  Off by default: the
+        #: AP tiers observe their reads for free, but the plain path
+        #: pays one dict probe per context read.
+        self.record_witnesses = record_witnesses
 
     # -- plain path ---------------------------------------------------------
 
@@ -90,15 +104,18 @@ class TransactionAccelerator:
                       ) -> AcceleratedReceipt:
         """Full EVM execution with cost accounting."""
         io_before = state.disk.stats.cost_units
-        evm = EVM(state, header, tx, blockhash_fn=self.blockhash_fn)
+        recorder = ReadSetRecorder() if self.record_witnesses else None
+        evm = EVM(state, header, tx, tracer=recorder,
+                  blockhash_fn=self.blockhash_fn)
         result = evm.execute_transaction()
         tally = costmodel.evm_execution_cost(
             evm.instruction_count,
             state.disk.stats.cost_units - io_before,
             fixed=fixed_cost,
             write_ops=evm.write_op_count)
-        return AcceleratedReceipt(result=result, outcome=OUTCOME_NO_AP,
-                                  tally=tally)
+        return AcceleratedReceipt(
+            result=result, outcome=OUTCOME_NO_AP, tally=tally,
+            observed_reads=recorder.reads if recorder else None)
 
     # -- accelerated path ------------------------------------------------------
 
@@ -143,17 +160,20 @@ class TransactionAccelerator:
         if tx.gas_limit < intrinsic:
             return AcceleratedReceipt(
                 result=ExecutionResult(False, 0, error="intrinsic gas too low"),
-                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True,
+                tier="walk", observed_reads={})
         if state.get_nonce(tx.sender) != tx.nonce:
             return AcceleratedReceipt(
                 result=ExecutionResult(False, 0, error="bad nonce"),
-                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True,
+                tier="walk", observed_reads={})
         try:
             state.sub_balance(tx.sender, tx.gas_limit * tx.gas_price)
         except InsufficientBalance:
             return AcceleratedReceipt(
                 result=ExecutionResult(False, 0, error="cannot afford gas"),
-                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+                outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True,
+                tier="walk", observed_reads={})
         state.increment_nonce(tx.sender)
 
         call_snap = state.snapshot()
@@ -171,14 +191,17 @@ class TransactionAccelerator:
                 state.add_balance(header.coinbase, gas_used * tx.gas_price)
                 return AcceleratedReceipt(
                     result=ExecutionResult(False, gas_used, b""),
-                    outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True)
+                    outcome=OUTCOME_SATISFIED, tally=tally, used_ap=True,
+                tier="walk", observed_reads={})
 
         if self.jit is not None:
             outcome = self.jit.execute(ap, state, header, tx, tally=tally,
                                        blockhash_fn=self.blockhash_fn)
+            tier = self.jit.last_used
         else:
             outcome = execute_ap(ap, state, header, tx, tally=tally,
                                  blockhash_fn=self.blockhash_fn)
+            tier = "walk"
         if not outcome.success:
             state.revert_to(call_snap)
         gas_used = outcome.gas_used
@@ -191,7 +214,8 @@ class TransactionAccelerator:
                                  outcome.return_data, logs)
         return AcceleratedReceipt(
             result=result, outcome=OUTCOME_SATISFIED, tally=tally,
-            ap_stats=outcome.stats, used_ap=True,
+            ap_stats=outcome.stats, used_ap=True, tier=tier,
+            observed_reads=outcome.observed_reads,
             perfect_context_ids=self._classify_from_observation(
                 ap, outcome.observed_reads, header))
 

@@ -61,6 +61,27 @@ SPECULATION_COST_FACTOR = 12.19
 #: hashing the trace is what replaces translate/optimize on a hit).
 FINGERPRINT_STEP = 1
 
+# -- witness checking (repro.witness) ---------------------------------------
+#
+# Validating a speculative result from its execution witness replays
+# the constraint checks and applies the recorded state delta — no
+# re-execution.  The checker's work is dict probes and compares, so
+# its per-item costs sit at the guard/shortcut scale, far below the
+# node costs of actually executing anything.
+
+#: Fixed per-witness overhead (decode + digest bookkeeping).
+WITNESS_FIXED = 25
+#: Cost of replaying one recorded constraint (state probe + compare).
+WITNESS_CHECK = 2
+#: Cost of verifying + applying one state-delta entry.
+WITNESS_APPLY = 5
+
+
+def witness_check_cost(constraints: int, deltas: int) -> int:
+    """Cost units of validating one witness (no re-execution)."""
+    return (WITNESS_FIXED + constraints * WITNESS_CHECK
+            + deltas * WITNESS_APPLY)
+
 
 @dataclass
 class CostTally:

@@ -39,6 +39,8 @@ from repro.sched.lanes import LaneSet, SchedConfig
 from repro.state.nodecache import NodeCache
 from repro.state.statedb import StateDB
 from repro.state.world import WorldState
+from repro.witness.format import ExecutionWitness
+from repro.witness.recorder import ap_context_ids, build_witness
 
 
 @dataclass
@@ -64,6 +66,9 @@ class TxRecord:
     shortcut_hits: int = 0
     executed_nodes: int = 0
     skipped_nodes: int = 0
+    #: Execution tier that produced the committed result
+    #: ("plain" | "walk" | "jit").
+    tier: str = "plain"
 
 
 @dataclass
@@ -188,6 +193,12 @@ class ForerunnerConfig:
     #: count commits byte-identical state; parallelism shows up only in
     #: the scheduler's own critical-path metrics.
     sched: SchedConfig = field(default_factory=SchedConfig)
+    #: Emit a per-transaction execution witness (repro.witness):
+    #: constraints, net state delta, and digests, assembled from the
+    #: master journal before each block commits.  Off by default —
+    #: commits and every Table 2/3 number are byte-identical either
+    #: way; ``repro verify`` turns it on to run the WitnessChecker.
+    enable_witness: bool = False
 
 
 class ForerunnerNode:
@@ -250,8 +261,12 @@ class ForerunnerNode:
         self.prefetcher = Prefetcher(self.world, self.node_cache,
                                      registry=self.registry,
                                      injector=self.fault_injector)
-        self.accelerator = TransactionAccelerator(jit=self.jit)
+        self.accelerator = TransactionAccelerator(
+            jit=self.jit,
+            record_witnesses=self.config.enable_witness)
         self.reports: List[BlockReport] = []
+        #: Execution witnesses in commit order (``enable_witness`` only).
+        self.witnesses: List[ExecutionWitness] = []
         # Pending pool: hash -> (tx, heard_time).
         self.pool: Dict[int, Tuple[Transaction, float]] = {}
         #: All hashes ever heard before execution (Table 1's heard set).
@@ -525,7 +540,12 @@ class ForerunnerNode:
             block, state, list(block.transactions),
             lambda tx, exec_state: self._execute_one(
                 tx, block, exec_state))
-        for outcome in outcomes:
+        # Net per-tx state deltas, reconstructed from the master
+        # journal while it still exists (commit clears it).
+        deltas = (state.witness_deltas(
+            [outcome.journal_span for outcome in outcomes])
+            if self.config.enable_witness else None)
+        for index, outcome in enumerate(outcomes):
             tx = outcome.tx
             receipt = outcome.receipt
             heard_time = self.heard.get(tx.hash)
@@ -565,12 +585,21 @@ class ForerunnerNode:
                     self.first_context.get(tx.hash) in
                     receipt.perfect_context_ids),
                 speculated_contexts=self._total_spec.get(tx.hash, 0),
+                tier=receipt.tier,
             )
             if receipt.ap_stats is not None:
                 record.shortcut_hits = receipt.ap_stats.shortcut_hits
                 record.executed_nodes = receipt.ap_stats.executed_nodes
                 record.skipped_nodes = receipt.ap_stats.skipped_nodes
             records.append(record)
+            if deltas is not None:
+                logs_start, logs_end = outcome.logs_span
+                self.witnesses.append(build_witness(
+                    tx_hash=tx.hash, block_number=block.number,
+                    receipt=receipt, span_delta=deltas[index],
+                    logs=state.logs[logs_start:logs_end],
+                    context_ids=(ap_context_ids(ap)
+                                 if receipt.used_ap else ())))
             if heard:
                 self.c_heard.inc()
             if ap_ready:

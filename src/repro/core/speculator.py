@@ -136,6 +136,11 @@ class SpeculationRecord:
     #: True when this speculation died to a contained fault (injected
     #: or unexpected) rather than an expected pipeline outcome.
     faulted: bool = False
+    #: Predicted witness footprint of the synthesized path: how many
+    #: constraint checks (reads) and delta entries (writes) a satisfied
+    #: execution of it will record.
+    read_set_size: int = 0
+    write_set_size: int = 0
 
 
 @dataclass
@@ -746,7 +751,9 @@ class Speculator:
             logical_cost=logical_cost, merged=merged,
             deduped=cached_path is not None,
             preds_executed=prefix.executed,
-            preds_cached=prefix.cached))
+            preds_cached=prefix.cached,
+            read_set_size=len(path.read_set),
+            write_set_size=len(path.write_set)))
         return path
 
     def speculate_many(self, tx: Transaction,

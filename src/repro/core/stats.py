@@ -464,3 +464,55 @@ def speculation_cache_report(source) -> SpeculationCacheReport:
         actual_cost=speculator.total_speculation_cost,
         logical_cost=speculator.total_logical_cost,
     )
+
+
+# ---------------------------------------------------------------------------
+# Execution witnesses (repro.witness)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WitnessReport:
+    """Aggregate view of one run's witness stream."""
+
+    witnesses: int = 0
+    by_tier: Dict[str, int] = field(default_factory=dict)
+    by_outcome: Dict[str, int] = field(default_factory=dict)
+    constraints: int = 0
+    delta_rows: int = 0
+    created_accounts: int = 0
+    guards_checked: int = 0
+    #: Total cost units the witnessed executions charged.
+    execution_cost_units: int = 0
+
+    @property
+    def constraints_per_witness(self) -> float:
+        return self.constraints / self.witnesses if self.witnesses else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "witnesses": self.witnesses,
+            "by_tier": dict(sorted(self.by_tier.items())),
+            "by_outcome": dict(sorted(self.by_outcome.items())),
+            "constraints": self.constraints,
+            "delta_rows": self.delta_rows,
+            "created_accounts": self.created_accounts,
+            "guards_checked": self.guards_checked,
+            "execution_cost_units": self.execution_cost_units,
+        }
+
+
+def witness_report(witnesses: Sequence) -> WitnessReport:
+    """Summarize a witness stream (a node's ``witnesses`` list)."""
+    report = WitnessReport()
+    for witness in witnesses:
+        report.witnesses += 1
+        report.by_tier[witness.tier] = \
+            report.by_tier.get(witness.tier, 0) + 1
+        report.by_outcome[witness.outcome] = \
+            report.by_outcome.get(witness.outcome, 0) + 1
+        report.constraints += len(witness.constraints)
+        report.delta_rows += len(witness.delta)
+        report.created_accounts += len(witness.created)
+        report.guards_checked += witness.guards_checked
+        report.execution_cost_units += witness.cost_units
+    return report

@@ -334,9 +334,13 @@ class EVM:
         self.write_op_count = 0
         if fast_emit is None:
             fast_emit = FAST_EMIT
-        if fast_emit and type(self.tracer) is Tracer:
-            # No observer: shadow _emit with the counting-only fast
-            # path (instance attribute wins over the class method).
+        if fast_emit and type(self.tracer).on_step is Tracer.on_step:
+            # No per-step observer: shadow _emit with the counting-only
+            # fast path (instance attribute wins over the class
+            # method).  Tracers that override only the context hooks —
+            # the witness ReadSetRecorder — keep fast dispatch, since
+            # those hooks are invoked directly by the read handlers,
+            # not through _emit.
             self._emit = self._emit_fast
 
     # -- transaction entry point -------------------------------------------

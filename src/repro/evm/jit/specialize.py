@@ -673,11 +673,19 @@ class _Compiler:
                 reg = int(piece[1])
                 _, _, src_start, length = piece
                 if reg in self.fold and reg not in self.materialize:
+                    # Folded regs bake into the template like const
+                    # pieces — but the template is written *before*
+                    # runtime patches, so an earlier overlapping patch
+                    # would incorrectly win.  Pieces apply in order;
+                    # fall back to the generic materializer to keep
+                    # walked/compiled results byte-identical.
+                    lo, hi = rel_off, rel_off + length
+                    for p_off, _r, _s, p_len in patches:
+                        if p_off < hi and lo < p_off + p_len:
+                            needs_generic = True
                     word = int_to_bytes32(self.fold[reg])
                     template[rel_off:rel_off + length] = \
                         word[src_start:src_start + length]
-                    # A later const piece may legitimately overwrite
-                    # this region, so treat it like a const piece.
                     continue
                 patches.append((rel_off, reg, src_start, length))
             elif kind == "bytes":

@@ -47,6 +47,9 @@ class JitTier:
         #: Bumped by :meth:`invalidate`; artifacts compiled under an
         #: older version bail out to the interpreted walk.
         self.version = 0
+        #: Tier label of the most recent :meth:`execute` call:
+        #: "jit" when a valid closure ran, "walk" on any fallback.
+        self.last_used = "walk"
         registry = registry or get_registry()
         obs = registry.scope("jit")
         self.c_compiles = obs.counter("compiles")
@@ -103,6 +106,7 @@ class JitTier:
         :func:`~repro.core.ap_exec.execute_ap`; the accelerator's
         fallback path is identical either way.
         """
+        self.last_used = "walk"
         if not self.enabled:
             return execute_ap(ap, state, header, tx, tally=tally,
                               blockhash_fn=blockhash_fn)
@@ -121,6 +125,7 @@ class JitTier:
             return execute_ap(ap, state, header, tx, tally=tally,
                               blockhash_fn=blockhash_fn)
         self.c_hits.inc()
+        self.last_used = "jit"
         if tally is None:
             tally = CostTally()
         try:

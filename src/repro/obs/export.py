@@ -86,6 +86,45 @@ def export_jsonl(target: Union[str, IO[str]],
     return len(lines)
 
 
+def witness_lines(witnesses, meta: Optional[dict] = None) -> List[str]:
+    """Render execution witnesses as canonical JSONL lines.
+
+    Same canonical-encoding guarantees as :func:`trace_lines`: a
+    ``meta`` header line followed by one witness record per line, in
+    input order.  Two runs of the same workload produce byte-identical
+    witness files.
+    """
+    # Imported lazily: repro.witness.format imports canonical_json
+    # from this module.
+    from repro.witness.format import witness_to_dict
+    lines: List[str] = []
+    header = {"type": "meta", "schema": SCHEMA_VERSION, "kind": "witness"}
+    if meta:
+        header.update(meta)
+    lines.append(canonical_json(header))
+    for witness in witnesses:
+        record = {"type": "witness"}
+        record.update(witness_to_dict(witness))
+        lines.append(canonical_json(record))
+    return lines
+
+
+def export_witness_jsonl(target: Union[str, IO[str]],
+                         witnesses,
+                         meta: Optional[dict] = None) -> int:
+    """Write a witness artifact to ``target`` (path or file object).
+
+    Returns the number of lines written.
+    """
+    lines = witness_lines(witnesses, meta)
+    if isinstance(target, str):
+        with open(target, "w", encoding="ascii", newline="\n") as handle:
+            _write(handle, lines)
+    else:
+        _write(target, lines)
+    return len(lines)
+
+
 def _write(handle: IO[str], lines: Iterable[str]) -> None:
     for line in lines:
         handle.write(line)

@@ -217,6 +217,13 @@ class TxOutcome:
     abort_reason: str = ""
     optimistic_cost: int = 0
     canonical_cost: int = 0
+    #: Master-journal positions (start, end) spanning this tx's commit
+    #: — valid at every lane count, since clean forks also apply
+    #: through the master journal in block order.  Consumed by
+    #: :meth:`StateDB.witness_deltas` before the block commits.
+    journal_span: Tuple[int, int] = (0, 0)
+    #: Master log-list span (start, end) for this transaction.
+    logs_span: Tuple[int, int] = (0, 0)
 
 
 @dataclass
@@ -346,13 +353,17 @@ class ParallelBlockExecutor:
         outcomes: List[TxOutcome] = []
         serial_cost = 0
         for index, tx in enumerate(plans):
+            span_start = master.snapshot()
+            logs_start = len(master.logs)
             receipt = self._serial_execute(tx, master)
             cost = receipt.tally.total
             serial_cost += cost
             outcomes.append(TxOutcome(
                 tx=tx, receipt=receipt, index=index,
                 lane_id=0, start=serial_cost - cost, finish=serial_cost,
-                optimistic_cost=cost, canonical_cost=cost))
+                optimistic_cost=cost, canonical_cost=cost,
+                journal_span=(span_start, master.snapshot()),
+                logs_span=(logs_start, len(master.logs))))
         schedule = BlockSchedule(
             block_number=block.number, lanes=1, txs=len(plans),
             clean=len(plans), serial_cost=serial_cost,
@@ -435,6 +446,8 @@ class ParallelBlockExecutor:
                 reason = "entangled"
             if not reason and not access.keys.isdisjoint(committed_writes):
                 reason = "conflict"
+            span_start = master.snapshot()
+            logs_start = len(master.logs)
             if not reason:
                 reason = self._commit_clean(tx, master, fork, receipt,
                                             schedule)
@@ -458,7 +471,9 @@ class ParallelBlockExecutor:
                 start=int(completion.start), finish=int(completion.finish),
                 aborted=bool(reason), abort_reason=reason,
                 optimistic_cost=int(completion.cost),
-                canonical_cost=cost))
+                canonical_cost=cost,
+                journal_span=(span_start, master.snapshot()),
+                logs_span=(logs_start, len(master.logs))))
 
         schedule.optimistic_makespan = int(lane_set.makespan())
         schedule.lane_utilization_permille = \

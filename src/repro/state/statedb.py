@@ -10,6 +10,7 @@ missed predictions (Table 3's 1.21× row).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -290,6 +291,110 @@ class StateDB:
                     self._cache.pop(entry[1], None)
                 else:
                     self._cache[entry[1]] = entry[2]
+
+    # -- witness support ----------------------------------------------------------
+
+    def witness_deltas(self, spans: List[Tuple[int, int]]) -> List[dict]:
+        """Per-span state deltas reconstructed from the journal.
+
+        ``spans`` is an ascending, non-overlapping list of
+        ``(start, end)`` journal positions (as returned by
+        :meth:`snapshot`), one per transaction.  For every span this
+        returns ``{"delta": {(kind, key): (pre, post)}, "created":
+        [(address, pre_account_or_None)]}`` where *pre* is the value
+        just before the span and *post* the value just after it —
+        even when later spans overwrote the same key, because the
+        journal's old-value chain pins every intermediate value.
+
+        Reverted writes cancel out (their entries were popped), and
+        keys whose pre equals post are dropped, so the delta is
+        exactly the net effect of the span.  Must be called before
+        :meth:`commit` clears the journal.
+        """
+        if not spans:
+            return []
+        base = spans[0][0]
+        # One forward pass: per-key chains of (position, old_value).
+        # The old value at position p is the key's live value over
+        # (previous entry for the key, p]; the live value after the
+        # last entry is whatever the working cache holds now.
+        positions: Dict[tuple, List[int]] = {}
+        olds: Dict[tuple, List[object]] = {}
+        creates: List[Tuple[int, int, Optional[Account]]] = []
+        for pos in range(base, len(self._journal)):
+            entry = self._journal[pos]
+            kind = entry[0]
+            if kind in ("balance", "nonce", "code"):
+                key = (kind, (entry[1],))
+                old = entry[2]
+            elif kind == "storage":
+                key = ("storage", (entry[1], entry[2]))
+                old = entry[3]
+            elif kind == "create":
+                creates.append((pos, entry[1], entry[2]))
+                continue
+            else:  # "log": digested from receipts, not a delta key
+                continue
+            positions.setdefault(key, []).append(pos)
+            olds.setdefault(key, []).append(old)
+
+        def current_value(key: tuple) -> object:
+            kind, loc = key
+            account = self._cache.get(loc[0])
+            if account is None:  # pragma: no cover - journaled => cached
+                account = self.world.get_account(loc[0]) or Account()
+            if kind == "balance":
+                return account.balance
+            if kind == "nonce":
+                return account.nonce
+            if kind == "code":
+                return account.code
+            return account.storage.get(loc[1], 0)
+
+        def value_at(key: tuple, pos: int) -> object:
+            """The key's live value as of journal position ``pos``."""
+            chain = positions.get(key)
+            if chain:
+                index = bisect_left(chain, pos)
+                if index < len(chain):
+                    return olds[key][index]
+            return current_value(key)
+
+        results: List[dict] = []
+        for start, end in spans:
+            delta: Dict[tuple, Tuple[object, object]] = {}
+            created: List[Tuple[int, Optional[Account]]] = []
+            created_addrs = set()
+            for pos, addr, prev in creates:
+                if start <= pos < end:
+                    if prev is None:
+                        prev = self.world.get_account(addr)
+                    created.append((addr, prev))
+                    created_addrs.add(addr)
+            for key, chain in positions.items():
+                index = bisect_left(chain, start)
+                if index >= len(chain) or chain[index] >= end:
+                    continue  # key untouched inside this span
+                pre = olds[key][index]
+                post = value_at(key, end)
+                if key[1][0] in created_addrs and key[0] != "storage":
+                    # Field writes on an account created in-span carry
+                    # intra-span pre values; the creation entry is the
+                    # authoritative pre (absent or the shadowed account).
+                    continue
+                if pre != post:
+                    delta[key] = (pre, post)
+            for addr, _prev in created:
+                # Materialize the created account's post fields even
+                # when never journaled after creation.
+                for kind in ("balance", "nonce", "code"):
+                    key = (kind, (addr,))
+                    post = value_at(key, end)
+                    default = b"" if kind == "code" else 0
+                    if post != default:
+                        delta[key] = (None, post)
+            results.append({"delta": delta, "created": created})
+        return results
 
     # -- commit ----------------------------------------------------------------------
 
