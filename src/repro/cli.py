@@ -20,6 +20,11 @@ Commands:
   application, no re-execution), and run the differential conformance
   oracle; ``--json`` emits the canonical report, ``--witness-out``
   writes the byte-stable witness JSONL artifact.
+* ``serve``     — run a seeded client load scenario against the
+  JSON-RPC serving edge (repro.edge) and print the canonical serving
+  report: per-method counts, shed rate, brownout transitions,
+  p50/p99 cost-unit latency; ``--json-out`` / ``--trace-out`` emit
+  the byte-stable report and serving trace.
 * ``history``   — print the Figure 2 block-saturation series.
 * ``report``    — record + replay a workload and print the stage
   breakdown; ``--metrics`` dumps the deterministic metrics snapshot,
@@ -297,7 +302,70 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_edge(args: argparse.Namespace) -> int:
+    """Edge chaos: every ``edge.*`` fault site at its own rate, with
+    the containment assertion (node commitments never change)."""
+    from repro.edge import ScenarioConfig, build_scenario, run_serving
+    from repro.edge.faults import EDGE_SITES, edge_fault_plan
+    from repro.obs.export import canonical_json
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="edge-chaos",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    scenario = build_scenario(dataset,
+                              ScenarioConfig(seed=args.seed, load=2.0))
+    clean = run_serving(dataset, scenario, observer=args.observer)
+    rate = args.rate if args.rate is not None else 1.0
+    print(f"edge chaos: dataset={dataset.name} seed={args.seed} "
+          f"rate={rate} ({len(scenario)} requests, "
+          f"{len(dataset.blocks)} blocks)")
+    print(f"clean run: goodput {clean.goodput:.3f}")
+    print()
+    rows = []
+    ok = True
+    for site in EDGE_SITES:
+        plan = edge_fault_plan(seed=args.seed, probability=rate,
+                               sites=(site,))
+        faulted = run_serving(dataset, scenario, fault_plan=plan,
+                              observer=args.observer)
+        fired = faulted.injector.fired(site)
+        contained = faulted.commitments() == clean.commitments()
+        uncaught = faulted.server.c_internal_errors.value
+        site_ok = contained and fired > 0 and uncaught == 0
+        ok = ok and site_ok
+        status = "CONTAINED" if site_ok else "FAILED"
+        print(f"  {site:26s} fired={fired:5d} "
+              f"goodput={faulted.goodput:.3f} "
+              f"uncaught={uncaught} {status}")
+        rows.append({"site": site, "fired": fired,
+                     "goodput": round(faulted.goodput, 6),
+                     "contained": contained,
+                     "uncaught_errors": uncaught, "ok": site_ok})
+    print()
+    print("edge containment: " + ("OK" if ok else "FAILED"))
+    if args.json_out:
+        payload = {"schema": 1, "dataset": dataset.name,
+                   "seed": args.seed, "rate": rate,
+                   "requests": len(scenario),
+                   "clean_goodput": round(clean.goodput, 6),
+                   "sites": rows, "ok": ok}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload))
+            handle.write("\n")
+        print(f"wrote edge chaos report -> {args.json_out}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.edge:
+        return _cmd_chaos_edge(args)
     from repro.faults import (
         FaultPlan,
         check_equivalence,
@@ -342,6 +410,64 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                   "duration": args.duration})
         print(f"wrote {written} trace lines -> {args.trace_out}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.node import ForerunnerConfig
+    from repro.edge import (
+        EdgeConfig,
+        ScenarioConfig,
+        build_report,
+        build_scenario,
+        format_report,
+        run_serving,
+    )
+    from repro.obs.export import canonical_json
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="serve",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    scenario = build_scenario(
+        dataset,
+        ScenarioConfig(seed=args.seed, load=args.load,
+                       clients=args.clients,
+                       deadline_units=args.deadline_units))
+    edge_config = EdgeConfig(attach_witnesses=args.witness,
+                             verify_responses=args.verify)
+    node_config = ForerunnerConfig(enable_witness=args.witness)
+    result = run_serving(dataset, scenario, edge_config=edge_config,
+                         node_config=node_config,
+                         observer=args.observer)
+    report = build_report(result, meta={
+        "seed": args.seed, "load": args.load,
+        "workload_seed": args.workload_seed,
+        "duration": args.duration, "clients": args.clients,
+        "deadline_units": args.deadline_units,
+        "witness": args.witness, "verify": args.verify})
+    print(format_report(report))
+    if args.verify and result.server.verify_mismatches:
+        print(f"\nSERVING-EQUIVALENCE FAILED: "
+              f"{result.server.verify_mismatches} mismatched responses")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(report))
+            handle.write("\n")
+        print(f"\nwrote serving report -> {args.json_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for line in result.trace_lines:
+                handle.write(line)
+                handle.write("\n")
+        print(f"wrote {len(result.trace_lines)} serving trace lines "
+              f"-> {args.trace_out}")
+    return 1 if (args.verify and result.server.verify_mismatches) else 0
 
 
 def _cmd_crash(args: argparse.Namespace) -> int:
@@ -620,7 +746,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the specialization compile tier "
                             "(docs/COMPILER.md); the degradation report "
                             "must stay byte-identical either way")
+    chaos.add_argument("--edge", action="store_true",
+                       help="sweep the edge.* serving fault sites "
+                            "instead (docs/EDGE.md): each site at "
+                            "--rate (default 1.0) through a serving "
+                            "scenario, asserting node commitments are "
+                            "byte-identical to the fault-free run")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a seeded client load scenario against the JSON-RPC "
+             "serving edge and print the canonical serving report "
+             "(docs/EDGE.md)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="scenario seed (client arrival + jitter "
+                            "streams)")
+    serve.add_argument("--load", type=float, default=1.0,
+                       help="offered-load multiplier (1.0 = calibrated "
+                            "base rate; 5.0 = heavy overload)")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="seconds of simulated traffic")
+    serve.add_argument("--workload-seed", type=int, default=2021,
+                       help="traffic generator seed")
+    serve.add_argument("--observer", default="live")
+    serve.add_argument("--clients", type=int, default=6,
+                       help="simulated client count")
+    serve.add_argument("--deadline-units", type=int, default=120_000,
+                       help="per-request cost-unit deadline budget")
+    serve.add_argument("--witness", action="store_true",
+                       help="record execution witnesses and attach "
+                            "digest/body to receipt and trace responses")
+    serve.add_argument("--verify", action="store_true",
+                       help="cross-check every fast-path eth_call "
+                            "response against fresh plain execution "
+                            "(the serving-equivalence oracle)")
+    serve.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the canonical serving report JSON")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the byte-stable serving trace "
+                            "(one canonical JSON line per frame)")
+    serve.set_defaults(func=_cmd_serve)
 
     crash = sub.add_parser(
         "crash",

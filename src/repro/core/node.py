@@ -410,7 +410,7 @@ class ForerunnerNode:
         for request in admitted or []:
             # Deferred requests were admitted a cycle ago: re-check the
             # caps, which may have filled since.
-            if not self.admission.allows_dispatch(request):
+            if not self.admission.allows_dispatch(request, now):
                 continue
             lane = lanes.least_loaded()
             start = max(now, lane.clock)

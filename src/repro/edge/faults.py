@@ -1,0 +1,96 @@
+"""Edge fault sites for the chaos framework.
+
+Four sites cover the serving edge's hostile-input surface:
+
+========================== ===============================================
+``edge.malformed_request``  corrupt the raw frame before parsing (seeded
+                            truncation/garbling) — must yield a
+                            structured parse error, never an exception
+``edge.slow_client``        a client drip-feeds its request: stall cost
+                            units added to the request's service time,
+                            occupying bulkhead capacity
+``edge.request_storm``      the request is duplicated (amplified) at
+                            arrival; rate limiting and backpressure must
+                            absorb the storm
+``edge.handler_stall``      the handler stalls for cost units mid-
+                            execution; repeated deadline blow-outs trip
+                            the method's circuit breaker
+========================== ===============================================
+
+Like the ``recovery.*`` crash sites, these are deliberately *not* part
+of :data:`repro.faults.injector.SITES`: generic pipeline chaos plans
+(``FaultPlan.uniform``) target the speculation pipeline, whose replay
+never evaluates edge sites — an edge plan is built here instead and
+driven through a serving scenario (``repro chaos --edge`` and the
+per-site sweep in ``tests/test_edge_chaos.py``).
+
+The containment contract mirrors the pipeline's: a faulted request can
+only ever change *that request's* response (to a structured error or a
+slower serve) — committed node state, receipts, and Merkle roots are
+byte-identical to a fault-free serving run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.faults.injector import (
+    KIND_CORRUPT,
+    KIND_DUPLICATE,
+    KIND_STALL,
+    FaultPlan,
+    FaultRule,
+)
+
+SITE_MALFORMED = "edge.malformed_request"
+SITE_SLOW_CLIENT = "edge.slow_client"
+SITE_STORM = "edge.request_storm"
+SITE_HANDLER_STALL = "edge.handler_stall"
+
+EDGE_SITE_KINDS: Dict[str, str] = {
+    SITE_MALFORMED: KIND_CORRUPT,
+    SITE_SLOW_CLIENT: KIND_STALL,
+    SITE_STORM: KIND_DUPLICATE,
+    SITE_HANDLER_STALL: KIND_STALL,
+}
+
+EDGE_SITES: Tuple[str, ...] = tuple(EDGE_SITE_KINDS)
+
+#: Default slow-client stall (cost units of connection occupancy).
+DEFAULT_SLOW_CLIENT_UNITS = 30_000
+#: Default handler stall (cost units; sized to threaten deadlines).
+DEFAULT_HANDLER_STALL_UNITS = 80_000
+#: Copies a request storm delivers beyond the original.
+STORM_COPIES = 4
+
+
+def edge_fault_plan(seed: int, probability: float,
+                    sites: Optional[Tuple[str, ...]] = None) -> FaultPlan:
+    """A uniform plan over the edge sites (kind-appropriate rules)."""
+    chosen = sites if sites is not None else EDGE_SITES
+    magnitudes = {
+        SITE_SLOW_CLIENT: DEFAULT_SLOW_CLIENT_UNITS,
+        SITE_HANDLER_STALL: DEFAULT_HANDLER_STALL_UNITS,
+    }
+    rules = tuple(
+        FaultRule(site=site, kind=EDGE_SITE_KINDS[site],
+                  probability=probability,
+                  magnitude=magnitudes.get(site, 0.0))
+        for site in chosen)
+    return FaultPlan(seed=seed, rules=rules)
+
+
+def corrupt_frame(raw: str, rng: random.Random) -> str:
+    """Deterministically mangle one raw frame (the ``corrupt`` kind).
+
+    Three mangle modes — truncation, byte garbling, and type swap —
+    all of which must surface as a structured parse/invalid error.
+    """
+    mode = rng.randrange(3)
+    if mode == 0 and len(raw) > 2:
+        return raw[:rng.randrange(1, len(raw))]
+    if mode == 1 and raw:
+        index = rng.randrange(len(raw))
+        return raw[:index] + chr(0x21 + rng.randrange(64)) + raw[index + 1:]
+    return "[" + raw

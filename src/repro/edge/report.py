@@ -1,0 +1,100 @@
+"""Canonical serving reports: goodput, latency percentiles, brownout
+history — the deterministic summary of one serving run.
+
+Percentiles use the nearest-rank method over the sorted latency list,
+so the numbers are exact integers (cost units) with no interpolation —
+a report is byte-stable across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+SCHEMA_VERSION = 1
+
+
+def percentile(sorted_values: List[int], fraction: float) -> int:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, int(round(fraction * len(sorted_values) + 0.5)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def build_report(result, meta: Optional[dict] = None) -> dict:
+    """The canonical serving report for one :class:`ServingResult`."""
+    latencies = sorted(result.served_latencies)
+    server = result.server
+    report = {
+        "schema": SCHEMA_VERSION,
+        "dataset": result.dataset_name,
+        "offered": result.offered,
+        "good": result.good,
+        "goodput": round(result.goodput, 6),
+        "latency_units": {
+            "p50": percentile(latencies, 0.50),
+            "p99": percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0,
+        },
+        "retries": {
+            "scheduled": result.retries_scheduled,
+            "budget_spent": result.retry_budget.spent
+            if result.retry_budget else 0,
+            "budget_denied": result.retry_budget.denied
+            if result.retry_budget else 0,
+        },
+        "storm_copies": result.storm_copies,
+        "edge": server.summary(),
+        "sched": {
+            "expired": result.node.admission.c_expired.value,
+            "dispatched": result.node.admission.c_dispatched.value,
+        },
+        "blocks": len(result.node.reports),
+        "state_roots": [f"{root:#x}" for root in result.state_roots()],
+    }
+    if getattr(result.injector, "enabled", False):
+        report["faults"] = result.injector.fire_summary()
+    if meta:
+        report["meta"] = meta
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of :func:`build_report` output."""
+    edge = report["edge"]
+    brownout = edge["brownout"]
+    lines = [
+        f"serving report — dataset {report['dataset']}",
+        f"  offered {report['offered']}  good {report['good']}  "
+        f"goodput {report['goodput']:.3f}",
+        f"  latency (cost units)  p50 {report['latency_units']['p50']}"
+        f"  p99 {report['latency_units']['p99']}"
+        f"  max {report['latency_units']['max']}",
+        f"  accepted txs {edge['accepted_txs']}  "
+        f"backpressure {edge['backpressure']}  "
+        f"rate-limited {edge['rate_limited']}  "
+        f"shed {brownout['shed']}",
+        f"  deadlines: cancelled {edge['deadline_cancelled']}  "
+        f"overrun {edge['deadline_overrun']}  "
+        f"sched-expired {report['sched']['expired']}",
+        f"  eth_call paths: memo {edge['call_memo_hits']}  "
+        f"ap {edge['call_ap_hits']}  plain {edge['call_plain']}  "
+        f"stale {edge['stale_reads']}",
+        f"  retries: scheduled {report['retries']['scheduled']}  "
+        f"denied {report['retries']['budget_denied']}",
+        "  per-method (requests/served/rejected):",
+    ]
+    for method, row in sorted(edge["per_method"].items()):
+        lines.append(f"    {method:26s} {row['requests']:5d} "
+                     f"{row['served']:5d} {row['rejected']:5d}")
+    lines.append(f"  brownout level {brownout['level']}  "
+                 f"transitions {len(brownout['transitions'])}")
+    for transition in brownout["transitions"]:
+        lines.append(f"    t={transition['at']:9.3f}  "
+                     f"{transition['from']} -> {transition['to']}  "
+                     f"({transition['reason']}, depth "
+                     f"{transition['depth']}, ewma "
+                     f"{transition['ewma_latency']})")
+    if "faults" in report:
+        lines.append(f"  faults fired: {report['faults']}")
+    return "\n".join(lines)

@@ -110,6 +110,13 @@ SITE_KINDS: Dict[str, str] = {
     "sched.prefetch_queue": KIND_DROP,
 }
 
+#: Like the ``recovery.*`` crash sites, the serving edge's ``edge.*``
+#: sites (:data:`repro.edge.faults.EDGE_SITES`) are deliberately not
+#: listed here: they only fire inside a serving scenario, which generic
+#: pipeline chaos plans never run (a plain replay would leave them
+#: unevaluated and the per-site degradation sweep would see zero
+#: fires).  Build edge plans with
+#: :func:`repro.edge.faults.edge_fault_plan` instead.
 SITES: Tuple[str, ...] = tuple(SITE_KINDS)
 
 #: Sites that, at 100% probability, disable speculation entirely (the

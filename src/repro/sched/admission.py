@@ -37,6 +37,10 @@ class SpeculationRequest:
     seq: int
     score: float
     head: int
+    #: Absolute simulated-seconds expiry propagated from the serving
+    #: edge (``None`` = no deadline).  Expired requests are cancelled
+    #: at dispatch time — the speculation work is never performed.
+    deadline: Optional[float] = None
 
     @property
     def order_key(self) -> Tuple[float, int]:
@@ -110,6 +114,7 @@ class AdmissionController:
         self.c_deferred = obs.counter("deferred")
         self.c_dropped = obs.counter("dropped")
         self.c_capped = obs.counter("capped")
+        self.c_expired = obs.counter("expired")
         self.c_breaker_skipped = obs.counter("breaker_skipped")
         self.g_backlog = obs.gauge("backlog")
         self.c_prefetch_queued = obs.counter("prefetch.queued")
@@ -126,6 +131,9 @@ class AdmissionController:
         self._seq = 0
         self._prefetch_queue: List[PrefetchRequest] = []
         self._prefetch_seq = 0
+        #: Per-transaction speculation deadlines (absolute simulated
+        #: seconds), stamped by the serving edge at acceptance.
+        self._deadlines: Dict[int, float] = {}
 
     # -- scoring ---------------------------------------------------------
 
@@ -141,6 +149,21 @@ class AdmissionController:
 
     def observe(self, contract: Optional[int], success: bool) -> None:
         self.estimator.observe(contract, success)
+
+    # -- deadline propagation (from the serving edge) --------------------
+
+    def set_deadline(self, tx_hash: int, expires_at: float) -> None:
+        """Stamp a speculation deadline for ``tx_hash``.
+
+        Requests admitted after this carry the deadline; once it
+        passes, :meth:`allows_dispatch` cancels them (counted as
+        ``expired``) instead of spending worker time on speculation
+        whose requester has already given up.
+        """
+        self._deadlines[tx_hash] = expires_at
+
+    def deadline_for(self, tx_hash: int) -> Optional[float]:
+        return self._deadlines.get(tx_hash)
 
     # -- admission -------------------------------------------------------
 
@@ -201,7 +224,8 @@ class AdmissionController:
                 self.c_requested.inc()
                 result.append(SpeculationRequest(
                     tx=tx, context=context, seq=self._seq,
-                    score=self.score(tx), head=head))
+                    score=self.score(tx), head=head,
+                    deadline=self._deadlines.get(tx.hash)))
                 self._seq += 1
         return result
 
@@ -217,6 +241,7 @@ class AdmissionController:
         number of deferred requests purged.
         """
         self.total_spec.pop(tx_hash, None)
+        self._deadlines.pop(tx_hash, None)
         for key in [key for key in self.spec_counts
                     if key[0] == tx_hash]:
             del self.spec_counts[key]
@@ -246,9 +271,18 @@ class AdmissionController:
         self.c_dropped.inc(len(drop))
         self.g_backlog.set(len(self._deferred))
 
-    def allows_dispatch(self, request: SpeculationRequest) -> bool:
+    def allows_dispatch(self, request: SpeculationRequest,
+                        now: Optional[float] = None) -> bool:
         """Re-check caps at dispatch time (deferred requests were
-        admitted a cycle earlier; caps may have filled since)."""
+        admitted a cycle earlier; caps may have filled since).
+
+        With ``now``, an expired edge-propagated deadline cancels the
+        request here — the speculation work is never performed.
+        """
+        if (now is not None and request.deadline is not None
+                and now >= request.deadline):
+            self.c_expired.inc()
+            return False
         head_key = (request.tx.hash, request.head)
         if self.spec_counts.get(head_key, 0) >= self.max_contexts_per_head:
             return False
@@ -320,6 +354,7 @@ class AdmissionController:
             "deferred": self.c_deferred.value,
             "dropped": self.c_dropped.value,
             "capped": self.c_capped.value,
+            "expired": self.c_expired.value,
             "breaker_skipped": self.c_breaker_skipped.value,
             "backlog": len(self._deferred),
             "prefetch": {
