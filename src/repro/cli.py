@@ -363,7 +363,91 @@ def _cmd_chaos_edge(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    """Fleet chaos: every ``fleet.*`` lifecycle/routing fault site at
+    its own rate, with the containment assertion — fleet commitments
+    (merged roots + receipt cores) byte-identical to the fault-free
+    fleet run, which is itself byte-identical to the single node."""
+    from repro.edge import ScenarioConfig, build_scenario
+    from repro.fleet import (
+        FLEET_SITES,
+        SITE_HANDOFF_TORN,
+        SITE_REPLICA_CRASH,
+        SITE_STALE_SHARDMAP,
+        FleetConfig,
+        fleet_fault_plan,
+        run_fleet_serving,
+    )
+    from repro.obs.export import canonical_json
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="fleet-chaos",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    scenario = build_scenario(dataset,
+                              ScenarioConfig(seed=args.seed, load=2.0))
+    shards = args.shards
+    clean = run_fleet_serving(dataset, scenario,
+                              fleet_config=FleetConfig(shards=shards),
+                              observer=args.observer)
+    rate = args.rate if args.rate is not None else 0.2
+    print(f"fleet chaos: dataset={dataset.name} seed={args.seed} "
+          f"rate={rate} shards={shards} ({len(scenario)} requests, "
+          f"{len(dataset.blocks)} blocks)")
+    print(f"clean run: goodput {clean.goodput:.3f}")
+    print()
+    rows = []
+    ok = True
+    # Torn handoffs and stale-map decisions only have a window when
+    # the membership actually changes, so those sites are swept with
+    # the crash site as their driver.
+    driven = {SITE_HANDOFF_TORN, SITE_STALE_SHARDMAP}
+    for site in FLEET_SITES:
+        sites = (SITE_REPLICA_CRASH, site) if site in driven else (site,)
+        plan = fleet_fault_plan(seed=args.seed, probability=rate,
+                                sites=sites)
+        faulted = run_fleet_serving(
+            dataset, scenario,
+            fleet_config=FleetConfig(shards=shards, fault_plan=plan),
+            observer=args.observer)
+        fired = faulted.supervisor.injector.fired(site)
+        contained = faulted.commitments() == clean.commitments()
+        lifecycle = faulted.supervisor.lifecycle_report()
+        site_ok = contained and fired > 0
+        ok = ok and site_ok
+        status = "CONTAINED" if site_ok else "FAILED"
+        print(f"  {site:26s} fired={fired:5d} "
+              f"goodput={faulted.goodput:.3f} "
+              f"gen={lifecycle['generation']:3d} {status}")
+        rows.append({"site": site, "fired": fired,
+                     "goodput": round(faulted.goodput, 6),
+                     "contained": contained,
+                     "generation": lifecycle["generation"],
+                     "ok": site_ok})
+    print()
+    print("fleet containment: " + ("OK" if ok else "FAILED"))
+    if args.json_out:
+        payload = {"schema": 1, "dataset": dataset.name,
+                   "seed": args.seed, "rate": rate, "shards": shards,
+                   "requests": len(scenario),
+                   "clean_goodput": round(clean.goodput, 6),
+                   "sites": rows, "ok": ok}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload))
+            handle.write("\n")
+        print(f"wrote fleet chaos report -> {args.json_out}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     if args.edge:
         return _cmd_chaos_edge(args)
     from repro.faults import (
@@ -412,7 +496,72 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: the same scenario through the
+    fleet router and N per-replica edge servers (docs/FLEET.md)."""
+    from repro.edge import ScenarioConfig, build_scenario
+    from repro.fleet import FleetConfig, run_fleet_serving
+    from repro.obs.export import canonical_json
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="serve",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    scenario = build_scenario(
+        dataset,
+        ScenarioConfig(seed=args.seed, load=args.load,
+                       clients=args.clients,
+                       deadline_units=args.deadline_units))
+    result = run_fleet_serving(
+        dataset, scenario, fleet_config=FleetConfig(shards=args.shards),
+        observer=args.observer)
+    summary = result.router.summary()
+    print(f"fleet serve: dataset={dataset.name} seed={args.seed} "
+          f"shards={args.shards} load={args.load}")
+    print(f"  offered {result.offered} requests, goodput "
+          f"{result.goodput:.3f}, {result.retries_scheduled} retries")
+    print(f"  dispatched {summary['dispatched']} "
+          f"(failovers {summary['failovers']}, accepted txs "
+          f"{result.accepted_txs})")
+    for replica_id in sorted(result.router.servers):
+        server = result.router.servers[replica_id]
+        print(f"  replica {replica_id}: accepted "
+              f"{server.c_accepted.value}, served "
+              f"{server.c_served.value}")
+    lifecycle = result.supervisor.lifecycle_report()
+    print(f"  shard sizes: {lifecycle['shard_sizes']} "
+          f"(coordinator {lifecycle['coordinator']})")
+    if args.json_out:
+        payload = {"schema": 1, "dataset": dataset.name,
+                   "seed": args.seed, "shards": args.shards,
+                   "load": args.load, "offered": result.offered,
+                   "good": result.good,
+                   "goodput": round(result.goodput, 6),
+                   "accepted_txs": result.accepted_txs,
+                   "router": summary, "lifecycle": lifecycle}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload))
+            handle.write("\n")
+        print(f"\nwrote fleet serving report -> {args.json_out}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            for line in result.trace_lines:
+                handle.write(line)
+                handle.write("\n")
+        print(f"wrote {len(result.trace_lines)} serving trace lines "
+              f"-> {args.trace_out}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _cmd_serve_fleet(args)
     from repro.core.node import ForerunnerConfig
     from repro.edge import (
         EdgeConfig,
@@ -546,7 +695,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.p2p.latency import LatencyModel
     from repro.sim.emulator import replay
     from repro.sim.recorder import DatasetConfig, record_dataset
-    from repro.witness import WitnessChecker, run_oracle
+    from repro.witness import (
+        WitnessChecker,
+        archive_witnesses,
+        run_oracle,
+    )
     from repro.workloads.mixed import TrafficConfig
 
     config = DatasetConfig(
@@ -584,6 +737,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     oracle_reports = [run_oracle(seed, cases=args.oracle_cases)
                       for seed in oracle_seeds]
     oracle_ok = all(report.ok for report in oracle_reports)
+    archive = archive_witnesses(node.witnesses)
     ok = validation.ok and covered and cost_ok and oracle_ok
 
     if args.as_json:
@@ -595,6 +749,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             "witness_coverage": covered,
             "validation": validation.as_dict(),
             "oracle": [report.as_dict() for report in oracle_reports],
+            "archive": archive.as_dict(),
             "ok": ok,
         }
         print(canonical_json(payload))
@@ -614,6 +769,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"{validation.speculative_witnesses} speculative txs; "
               f"bound {args.max_cost_ratio:.0%} "
               f"{'OK' if cost_ok else 'EXCEEDED'})")
+        print(f"  archive: {archive.witnesses} witnesses / "
+              f"{archive.blocks} block batches, "
+              f"{archive.raw_bytes:,} -> {archive.compressed_bytes:,} "
+              f"bytes ({archive.ratio():.1%} of raw)")
         for failure in validation.failures[:10]:
             print(f"  FAILURE {failure.as_dict()}")
         for report in oracle_reports:
@@ -752,6 +911,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "--rate (default 1.0) through a serving "
                             "scenario, asserting node commitments are "
                             "byte-identical to the fault-free run")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="sweep the fleet.* lifecycle/routing fault "
+                            "sites instead (docs/FLEET.md): replica "
+                            "crashes, torn handoffs, route flaps and "
+                            "stale shard maps at --rate (default 0.2), "
+                            "asserting fleet commitments stay "
+                            "byte-identical to the fault-free run")
+    chaos.add_argument("--shards", type=int, default=4,
+                       help="fleet replica count for --fleet")
     chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser(
@@ -786,6 +954,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the byte-stable serving trace "
                             "(one canonical JSON line per frame)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="serve through an N-replica fleet (shard "
+                            "map routing + per-replica edge servers; "
+                            "docs/FLEET.md) instead of a single node")
     serve.set_defaults(func=_cmd_serve)
 
     crash = sub.add_parser(

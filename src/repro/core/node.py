@@ -201,6 +201,45 @@ class ForerunnerConfig:
     enable_witness: bool = False
 
 
+class LocalSpecPlane:
+    """Default speculation plane: every job runs on the owning node.
+
+    The *speculation plane* is the seam between one node's prediction/
+    admission machinery and the speculator that performs each admitted
+    job.  A single node is its own plane; the fleet runtime
+    (:mod:`repro.fleet.supervisor`) installs a sharded plane on its
+    coordinator so that one global admission cycle — identical, request
+    for request, to the single-node cycle — dispatches each job to the
+    replica owning the transaction's shard.  Because the *lane clocks*
+    stay with the plane's owner, AP readiness times (and with them
+    every Table 2/3 number) are byte-identical however the work is
+    spread.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: "ForerunnerNode") -> None:
+        self.node = node
+
+    def components(self, tx: Transaction):
+        """``(speculator, sink)`` for one job: the speculator that runs
+        it and the node whose bookkeeping records the outcome."""
+        return self.node.speculator, self.node
+
+    def prefetch_targets(self):
+        """Nodes whose caches a drained prefetch request must warm."""
+        return (self.node,)
+
+    def ap_for(self, tx_hash: int):
+        """The AP block execution should use for ``tx_hash``.
+
+        Locally that is the node's own speculator's; the fleet plane
+        serves a per-block snapshot taken from the owning replicas, so
+        every replica executes with the same APs a single node would.
+        """
+        return self.node.speculator.get_ap(tx_hash)
+
+
 class ForerunnerNode:
     """Full Forerunner node (paper Figure 3)."""
 
@@ -303,6 +342,10 @@ class ForerunnerNode:
         #: Transactions whose AP merge produced a first-context record
         #: (for the single-future comparator): tx -> first context id.
         self.first_context: Dict[int, int] = {}
+        #: Speculation plane: where admitted jobs run.  The default is
+        #: this node itself; the fleet supervisor installs a sharded
+        #: plane on its coordinator (see :class:`LocalSpecPlane`).
+        self.spec_plane = LocalSpecPlane(self)
 
     # -- compatibility views over the admission/lane state ---------------------
 
@@ -425,14 +468,17 @@ class ForerunnerNode:
                 self.admission.defer([request], self.head_number)
                 continue
             tx, context = request.tx, request.context
+            # The plane decides which speculator runs this job (the
+            # local one, or — under the fleet — the owning replica's).
+            speculator, sink = self.spec_plane.components(tx)
             # Workers are scheduled by the *logical* cost — what an
             # uncached speculator would pay — so AP readiness (and
             # with it every Table 2/3 number) is identical whether
             # the prefix cache / synthesis dedup are on or off; the
             # actual (cheaper) cost feeds §5.6 accounting instead.
-            cost_before = self.speculator.total_logical_cost
-            path = self.speculator.speculate(tx, context)
-            job_cost = (self.speculator.total_logical_cost
+            cost_before = speculator.total_logical_cost
+            path = speculator.speculate(tx, context)
+            job_cost = (speculator.total_logical_cost
                         - cost_before)
             # Chaos: a stalled worker "timeout" adds cost units to
             # this job's schedule, delaying when its AP is ready.
@@ -446,13 +492,13 @@ class ForerunnerNode:
             # this contract's speculations are landing.
             self.admission.observe(tx.to, path is not None)
             if path is not None:
-                ap = self.speculator.get_ap(tx.hash)
+                ap = speculator.get_ap(tx.hash)
                 if ap is not None:
                     if ap.ready_at == 0.0 or len(ap.paths) == 1:
                         # First successful merge decides readiness;
                         # later merges refine an already-usable AP.
                         ap.ready_at = completion.finish
-                    self.first_context.setdefault(
+                    sink.first_context.setdefault(
                         tx.hash, context.context_id)
                     if self.config.enable_prefetch:
                         self.admission.queue_prefetch(
@@ -465,6 +511,7 @@ class ForerunnerNode:
         """Drain the bounded prefetch queue (FIFO, so cost accounting
         matches the legacy immediate-prefetch order)."""
         limit = self.config.sched.prefetch_drain_per_cycle
+        targets = self.spec_plane.prefetch_targets()
         for request in self.admission.drain_prefetches(limit):
             # Chaos: a queue fault drops the request — the keys stay
             # cold (slower reads, same values).
@@ -472,14 +519,19 @@ class ForerunnerNode:
                     "sched.prefetch_queue",
                     tx_sender=request.tx_sender) is not None:
                 continue
-            # Contained: a prefetch fault leaves the keys cold.
-            self.guard.run(
-                "prefetcher.prefetch",
-                lambda request=request: self.prefetcher.prefetch(
-                    request.keys,
-                    tx_sender=request.tx_sender,
-                    tx_to=request.tx_to),
-                count_fallback=False)
+            # Contained: a prefetch fault leaves the keys cold.  Under
+            # the fleet plane every replica's cache is warmed — cache
+            # state (and therefore every execution cost) must stay
+            # identical across replicas.
+            for target in targets:
+                self.guard.run(
+                    "prefetcher.prefetch",
+                    lambda request=request, target=target:
+                        target.prefetcher.prefetch(
+                            request.keys,
+                            tx_sender=request.tx_sender,
+                            tx_to=request.tx_to),
+                    count_fallback=False)
 
     # -- execution (the critical path) ----------------------------------------------
 
@@ -516,7 +568,7 @@ class ForerunnerNode:
                      state: StateDB):
         """The node's per-transaction execution strategy (the executor
         calls this for optimistic forks and serial runs alike)."""
-        ap = self.speculator.get_ap(tx.hash)
+        ap = self.spec_plane.ap_for(tx.hash)
         if ap is not None and ap.root is not None and ap.ready_at <= \
                 self._block_now:
             return self._execute_accelerated(tx, block, state, ap)
@@ -550,7 +602,7 @@ class ForerunnerNode:
             receipt = outcome.receipt
             heard_time = self.heard.get(tx.hash)
             heard = heard_time is not None
-            ap = self.speculator.get_ap(tx.hash)
+            ap = self.spec_plane.ap_for(tx.hash)
             ap_ready = (ap is not None and ap.root is not None
                         and ap.ready_at <= now)
             # Spans are emitted in commit (block) order with the

@@ -43,7 +43,7 @@ from repro.edge.faults import (
     SITE_SLOW_CLIENT,
     corrupt_frame,
 )
-from repro.edge.limits import Bulkhead, Deadline, TokenBucket
+from repro.edge.limits import Bulkhead, Deadline, LruMap, TokenBucket
 from repro.faults.guard import CircuitBreaker
 from repro.faults.injector import NULL_INJECTOR
 from repro.obs.export import canonical_json
@@ -88,6 +88,9 @@ class EdgeConfig:
     #: Per-client token bucket (requests; continuous refill).
     bucket_capacity: float = 30.0
     bucket_refill_per_second: float = 15.0
+    #: Bound on live per-client buckets (deterministic LRU eviction;
+    #: an evicted client that returns gets a fresh full bucket).
+    client_state_capacity: int = 4096
     #: Brownout ladder thresholds.
     brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
     #: Circuit breaker per method (clock = served cost units).
@@ -154,7 +157,7 @@ class EdgeServer:
             method: Bulkhead(method, config.queue_capacity,
                              config.service_rate)
             for method in METHODS}
-        self.buckets: Dict[int, TokenBucket] = {}
+        self.buckets = LruMap(config.client_state_capacity)
         self.brownout = BrownoutController(config.brownout, self.registry)
         #: Monotone served-cost clock driving the breaker cool-downs.
         self._served_units = 0
@@ -204,6 +207,11 @@ class EdgeServer:
         #: cross-check (must stay zero; the serving-equivalence gate).
         self.verify_mismatches = 0
         self.outcomes: List[RequestOutcome] = []
+        #: Optional acceptance hook ``(tx, now) -> None``, called after
+        #: a send is newly accepted.  The fleet router uses it to hand
+        #: accepted transactions to the supervisor (shard journal +
+        #: broadcast to every replica).
+        self.on_accept = None
 
     # -- node lifecycle hooks --------------------------------------------
 
@@ -263,7 +271,7 @@ class EdgeServer:
         if bucket is None:
             bucket = TokenBucket(self.config.bucket_capacity,
                                  self.config.bucket_refill_per_second)
-            self.buckets[client_id] = bucket
+            self.buckets.set(client_id, bucket)
         if not bucket.try_take(now):
             self.c_rate_limited.inc()
             return self._reject(request.id, method, client_id,
@@ -490,6 +498,8 @@ class EdgeServer:
                 tx.hash,
                 now + self.config.speculation_deadline_seconds)
             self.c_accepted.inc()
+            if self.on_accept is not None:
+                self.on_accept(tx, now)
         return ({"txHash": _hex(tx.hash), "accepted": not known},
                 ACCEPT_COST)
 

@@ -1,0 +1,55 @@
+"""repro.fleet — deterministic multi-replica runtime.
+
+N node replicas under one simulated cost-unit event loop: a
+consistent-hash shard map (:mod:`repro.fleet.shardmap`), a sharded
+nonce-aware txpool (:mod:`repro.fleet.shardpool`), a replica lifecycle
+supervisor with per-shard recovery journals
+(:mod:`repro.fleet.supervisor`), cross-shard edge routing
+(:mod:`repro.fleet.router`), and the replay/serving loops
+(:mod:`repro.fleet.serve`).  Fleet commitments are byte-identical to
+the single-node serial run at every shard count — docs/FLEET.md has
+the determinism argument.
+"""
+
+from .faults import (
+    FLEET_SITE_KINDS,
+    FLEET_SITES,
+    SITE_HANDOFF_TORN,
+    SITE_REPLICA_CRASH,
+    SITE_ROUTE_FLAP,
+    SITE_STALE_SHARDMAP,
+    fleet_fault_plan,
+)
+from .router import FleetRouter, RouteInfo
+from .serve import (
+    FleetRun,
+    FleetServingResult,
+    fleet_replay,
+    run_fleet_serving,
+    send_storm_scenario,
+)
+from .shardmap import ShardMap, ShardMapSnapshot
+from .shardpool import ShardedTxPool
+from .supervisor import FleetConfig, FleetSupervisor
+
+__all__ = [
+    "FLEET_SITES",
+    "FLEET_SITE_KINDS",
+    "FleetConfig",
+    "FleetRouter",
+    "FleetRun",
+    "FleetServingResult",
+    "FleetSupervisor",
+    "RouteInfo",
+    "ShardMap",
+    "ShardMapSnapshot",
+    "ShardedTxPool",
+    "SITE_HANDOFF_TORN",
+    "SITE_REPLICA_CRASH",
+    "SITE_ROUTE_FLAP",
+    "SITE_STALE_SHARDMAP",
+    "fleet_fault_plan",
+    "fleet_replay",
+    "run_fleet_serving",
+    "send_storm_scenario",
+]

@@ -1,0 +1,76 @@
+"""Fleet fault sites for the chaos framework.
+
+Four sites cover the multi-replica runtime's failure surface:
+
+========================= ===============================================
+``fleet.replica_crash``    a replica crashes mid-run; the supervisor
+                           restarts it from genesis + its shard journal,
+                           which must replay to byte-identical state
+``fleet.handoff_torn``     a rebalance handoff is interrupted after the
+                           source shard withdrew the transaction but
+                           before the target accepted it; journal repair
+                           must restore it
+``fleet.route_flap``       the router briefly routes a request to the
+                           wrong replica; the misroute is detected and
+                           the request re-dispatched to the owner
+``fleet.stale_shardmap``   the router serves one decision from a
+                           previous shard-map generation; the stale
+                           owner forwards (one extra hop), never drops
+========================= ===============================================
+
+Like the ``edge.*`` and ``recovery.*`` sites, these are *not* part of
+:data:`repro.faults.injector.SITES`: generic pipeline plans never
+evaluate them.  A fleet plan is built here and driven through a fleet
+serving scenario (``repro chaos --fleet`` and the per-site sweep in
+``tests/test_fleet_chaos.py``).
+
+Containment contract: a fleet fault may slow a request (extra hop,
+re-dispatch) or cost a replica its warm speculation state (a crash
+loses APs — acceleration only), but committed state, receipts, and
+Merkle roots stay byte-identical to the fault-free fleet run, which is
+itself byte-identical to the single-node serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.faults.injector import (
+    KIND_CRASH,
+    KIND_DROP,
+    KIND_REORDER,
+    KIND_TORN,
+    FaultPlan,
+    FaultRule,
+)
+
+SITE_REPLICA_CRASH = "fleet.replica_crash"
+SITE_HANDOFF_TORN = "fleet.handoff_torn"
+SITE_ROUTE_FLAP = "fleet.route_flap"
+SITE_STALE_SHARDMAP = "fleet.stale_shardmap"
+
+FLEET_SITE_KINDS: Dict[str, str] = {
+    SITE_REPLICA_CRASH: KIND_CRASH,
+    SITE_HANDOFF_TORN: KIND_TORN,
+    SITE_ROUTE_FLAP: KIND_REORDER,
+    SITE_STALE_SHARDMAP: KIND_DROP,
+}
+
+FLEET_SITES: Tuple[str, ...] = tuple(FLEET_SITE_KINDS)
+
+#: Cost units a misrouted request pays before re-dispatch (one wasted
+#: hop to the wrong replica and back).
+ROUTE_FLAP_PENALTY_UNITS = 2_000
+#: Cost units a stale-map decision pays (the stale owner forwards).
+STALE_MAP_PENALTY_UNITS = 1_000
+
+
+def fleet_fault_plan(seed: int, probability: float,
+                     sites: Optional[Tuple[str, ...]] = None) -> FaultPlan:
+    """A uniform plan over the fleet sites (kind-appropriate rules)."""
+    chosen = sites if sites is not None else FLEET_SITES
+    rules = tuple(
+        FaultRule(site=site, kind=FLEET_SITE_KINDS[site],
+                  probability=probability)
+        for site in chosen)
+    return FaultPlan(seed=seed, rules=rules)

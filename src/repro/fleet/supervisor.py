@@ -1,0 +1,504 @@
+"""Fleet supervisor: replica lifecycle under one deterministic loop.
+
+The fleet runs N full node replicas (chain-replica semantics: every
+replica executes every block against its own world copy) but shards the
+*expensive* part — Forerunner's speculation — by account locality:
+
+* one **coordinator** replica runs the exact single-node prediction /
+  admission cycle (its pool hears all gossip, so the candidate stream
+  is identical to a single node's);
+* each admitted job is dispatched to the **owning replica**'s
+  speculator (`:class:`FleetSpecPlane``); worker-lane clocks stay with
+  the coordinator, so every AP's ``ready_at`` — and with it every
+  Table 2/3 number — is byte-identical to the single-node run;
+* at block time the supervisor snapshots each transaction's AP from
+  its owner and every replica executes with that shared AP, so all
+  replica worlds, caches, and cost trajectories remain identical to
+  the single node's (AP walk is read-only; tier choice is
+  cost-identical by the PR-6 jit guarantee);
+* prefetches fan out to every replica's cache for the same reason.
+
+Lifecycle: a replica crash (``fleet.replica_crash``) removes it from
+the shard map (deterministic rebalance + handoff through the sharded
+pool), promotes a new coordinator if needed, and schedules a restart.
+Restart rebuilds the replica from genesis plus its per-shard recovery
+journal (block imports replayed at their recorded clocks), catches up
+blocks journaled while it was down from the supervisor's block store,
+and resyncs the pending pool from a live peer — converging to a
+byte-identical world root, which :meth:`process_block` cross-checks on
+every subsequent block.  APs are lost in a crash: speculation is pure
+acceleration, so commitments are unaffected (the containment contract
+``tests/test_fleet_chaos.py`` enforces).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.chain.transaction import Transaction
+from repro.core.node import BlockReport, ForerunnerConfig, ForerunnerNode
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector, NULL_INJECTOR
+from repro.obs.registry import MetricsRegistry
+from repro.recovery.journal import (
+    JournalWriter,
+    read_journal,
+    truncate_torn_tail,
+)
+
+from .faults import SITE_REPLICA_CRASH
+from .shardmap import DEFAULT_VNODES, ShardMap
+from .shardpool import ShardedTxPool
+
+RECORD_TX = "fleet.tx"
+RECORD_BLOCK = "fleet.block"
+
+
+def _tx_payload(tx: Transaction) -> dict:
+    return {
+        "sender": tx.sender,
+        "to": tx.to,
+        "data": tx.data.hex(),
+        "value": tx.value,
+        "gas_price": tx.gas_price,
+        "gas_limit": tx.gas_limit,
+        "nonce": tx.nonce,
+    }
+
+
+def _tx_from_payload(data: dict) -> Transaction:
+    return Transaction(
+        sender=int(data["sender"]),
+        to=None if data["to"] is None else int(data["to"]),
+        data=bytes.fromhex(data["data"]),
+        value=int(data["value"]),
+        gas_price=int(data["gas_price"]),
+        gas_limit=int(data["gas_limit"]),
+        nonce=int(data["nonce"]),
+    )
+
+
+@dataclass
+class FleetConfig:
+    """Tunables for the multi-replica runtime."""
+
+    #: Replica count (= shard count; each replica owns one shard).
+    shards: int = 4
+    #: Virtual nodes per replica on the consistent-hash ring.
+    vnodes: int = DEFAULT_VNODES
+    #: Per-replica node configuration (shared; nodes never mutate it).
+    node: ForerunnerConfig = field(default_factory=ForerunnerConfig)
+    #: Fleet-level chaos plan (``fleet.*`` sites); ``None`` = no-op.
+    fault_plan: object = None
+    #: Simulated seconds until a crashed replica restarts.
+    restart_delay: float = 4.0
+    #: Directory for per-shard recovery journals (``None`` = in-memory
+    #: fleet: crash repair falls back to the supervisor's gossip log).
+    journal_dir: Optional[str] = None
+
+
+@dataclass
+class Replica:
+    """One replica slot: the node, its journal, and lifecycle state."""
+
+    replica_id: int
+    node: ForerunnerNode
+    registry: MetricsRegistry
+    status: str = "up"
+    journal: Optional[JournalWriter] = None
+    journal_path: Optional[str] = None
+    crashes: int = 0
+    restarts: int = 0
+
+
+class FleetSpecPlane:
+    """Sharded speculation plane (see :class:`repro.core.node.LocalSpecPlane`).
+
+    Installed on every replica: the coordinator's admission cycle uses
+    :meth:`components` to dispatch each job to the owning replica, and
+    every replica's block execution uses :meth:`ap_for` to read the
+    per-block AP snapshot the supervisor took from the owners — so all
+    replicas execute a block with the *same* APs a single node would.
+    """
+
+    __slots__ = ("supervisor",)
+
+    def __init__(self, supervisor: "FleetSupervisor") -> None:
+        self.supervisor = supervisor
+
+    def components(self, tx: Transaction):
+        owner = self.supervisor.replicas[
+            self.supervisor.home_of(tx)].node
+        return owner.speculator, owner
+
+    def prefetch_targets(self):
+        sup = self.supervisor
+        return tuple(sup.replicas[rid].node for rid in sup.live())
+
+    def ap_for(self, tx_hash: int):
+        aps = self.supervisor.block_aps
+        if aps is not None:
+            return aps.get(tx_hash)
+        return None
+
+
+class FleetSupervisor:
+    """Owns the replicas, the shard map/pool, and the block pipeline."""
+
+    def __init__(self, genesis_world, genesis_block: Block,
+                 config: Optional[FleetConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.config = config or FleetConfig()
+        self.genesis_world = genesis_world
+        self.genesis_block = genesis_block
+        self.registry = registry or MetricsRegistry()
+        plan = self.config.fault_plan
+        if plan is not None:
+            self.injector = FaultInjector(plan, registry=self.registry)
+        else:
+            self.injector = NULL_INJECTOR
+        self.shardmap = ShardMap(range(self.config.shards),
+                                 vnodes=self.config.vnodes)
+        self.shardpool = ShardedTxPool(self.shardmap,
+                                       registry=self.registry,
+                                       injector=self.injector)
+        obs = self.registry.scope("fleet")
+        self.c_blocks = obs.counter("blocks")
+        self.c_txs = obs.counter("transactions")
+        self.c_crashes = obs.counter("crashes")
+        self.c_restarts = obs.counter("restarts")
+        self.c_promotions = obs.counter("promotions")
+        self.c_rebalances = obs.counter("rebalances")
+        self.c_torn_repaired = obs.counter("torn_repaired")
+        self._g_live = obs.gauge("live_replicas")
+        self.replicas: Dict[int, Replica] = {}
+        #: Block bodies + arrival times (the chain store journals
+        #: reference by number).
+        self.block_store: Dict[int, Tuple[Block, float]] = {}
+        #: Every transaction the fleet ever heard (gossip memory; the
+        #: torn-handoff repair's fallback when journals are off).
+        self.seen: Dict[int, Tuple[Transaction, float]] = {}
+        #: Per-block AP snapshot (set only while replicas execute a
+        #: block; read by :meth:`FleetSpecPlane.ap_for`).
+        self.block_aps: Optional[Dict[int, object]] = None
+        self.reports: List[BlockReport] = []
+        self.pending_restarts: List[Tuple[float, int]] = []
+        for replica_id in range(self.config.shards):
+            self._spawn(replica_id)
+        self.coordinator_id = min(self.replicas)
+        # The coordinator's admission controller is adopted as the
+        # *fleet* admission ledger: every replica shares it, so
+        # speculation counts (Table 2's contexts column) and edge
+        # deadlines reach one place, exactly as on a single node.  It
+        # survives coordinator crashes — it is fleet state, not
+        # replica state.
+        self.admission = self.replicas[self.coordinator_id].node.admission
+        for replica in self.replicas.values():
+            replica.node.admission = self.admission
+        self._g_live.set(len(self.replicas))
+
+    # -- construction ----------------------------------------------------
+
+    def _journal_path(self, replica_id: int) -> Optional[str]:
+        if self.config.journal_dir is None:
+            return None
+        return os.path.join(self.config.journal_dir,
+                            f"shard-{replica_id:02d}.wal")
+
+    def _new_node(self) -> Tuple[ForerunnerNode, MetricsRegistry]:
+        # Per-replica registries keep instrument names identical on
+        # every replica (no cross-replica scope-suffix drift).
+        registry = MetricsRegistry()
+        node = ForerunnerNode(self.genesis_world.copy(),
+                              self.config.node, registry=registry)
+        node.spec_plane = FleetSpecPlane(self)
+        node.predictor.observe_block(self.genesis_block)
+        return node, registry
+
+    def _spawn(self, replica_id: int) -> None:
+        node, registry = self._new_node()
+        journal = None
+        path = self._journal_path(replica_id)
+        if path is not None:
+            journal = JournalWriter(path)
+        self.replicas[replica_id] = Replica(
+            replica_id=replica_id, node=node, registry=registry,
+            journal=journal, journal_path=path)
+
+    # -- views -----------------------------------------------------------
+
+    def live(self) -> List[int]:
+        """Live replica ids, ascending (the deterministic loop order)."""
+        return sorted(rid for rid, replica in self.replicas.items()
+                      if replica.status == "up")
+
+    def coordinator(self) -> ForerunnerNode:
+        return self.replicas[self.coordinator_id].node
+
+    def node(self, replica_id: int) -> ForerunnerNode:
+        return self.replicas[replica_id].node
+
+    def home_of(self, tx: Transaction) -> int:
+        return self.shardmap.home_shard(tx.sender, tx.to)
+
+    def is_up(self, replica_id: int) -> bool:
+        replica = self.replicas.get(replica_id)
+        return replica is not None and replica.status == "up"
+
+    # -- gossip ----------------------------------------------------------
+
+    def on_transaction(self, tx: Transaction, now: float) -> None:
+        """A transaction arrived (gossip or edge accept): journal it to
+        its home shard, admit it to the sharded pool, and deliver it to
+        every live replica (all replicas hear all gossip — that is what
+        keeps the coordinator's candidate stream single-node-identical)."""
+        if tx.hash not in self.seen:
+            self.seen[tx.hash] = (tx, now)
+            home = self.home_of(tx)
+            journal = self.replicas[home].journal
+            if journal is not None:
+                journal.append(RECORD_TX, _tx_payload(tx), sync=True,
+                               clock={"sim_seconds": round(now, 6),
+                                      "tx": tx.hash})
+            self.shardpool.add(tx, now)
+        for replica_id in self.live():
+            self.replicas[replica_id].node.on_transaction(tx, now)
+
+    def requeue(self, tx: Transaction, now: float) -> None:
+        """Reorg requeue: back through the owning shard's live queues,
+        then into every replica's pending pool."""
+        self.seen.setdefault(tx.hash, (tx, now))
+        self.shardpool.requeue(tx, now)
+        for replica_id in self.live():
+            self.replicas[replica_id].node.requeue(tx, now)
+
+    def on_reorg(self) -> None:
+        for replica_id in self.live():
+            self.replicas[replica_id].node.on_reorg()
+
+    # -- speculation -----------------------------------------------------
+
+    def run_speculation(self, now: float,
+                        budget_seconds: Optional[float] = None) -> int:
+        """One fleet speculation cycle = the coordinator's cycle (jobs
+        land on owning replicas through the plane)."""
+        return self.coordinator().run_speculation(now, budget_seconds)
+
+    # -- the block pipeline ----------------------------------------------
+
+    def process_block(self, block: Block, now: float = 0.0) -> BlockReport:
+        """Import one block on every live replica.
+
+        Journals the import per shard, snapshots each transaction's AP
+        from its owning replica, executes the block on every replica
+        (cross-checking that all state roots agree), and merges the
+        fleet report from the owning replica of each transaction.
+        """
+        self.block_store[block.number] = (block, now)
+        clock = {"sim_seconds": round(now, 6), "number": block.number}
+        for replica_id in self.live():
+            journal = self.replicas[replica_id].journal
+            if journal is not None:
+                journal.append(RECORD_BLOCK,
+                               {"number": block.number}, sync=True,
+                               clock=clock)
+        aps: Dict[int, object] = {}
+        for tx in block.transactions:
+            owner = self.replicas[self.home_of(tx)].node
+            ap = owner.speculator.get_ap(tx.hash)
+            if ap is not None:
+                aps[tx.hash] = ap
+        self.block_aps = aps
+        root: Optional[int] = None
+        by_owner: Dict[int, Dict[int, object]] = {}
+        try:
+            for replica_id in self.live():
+                report = self.replicas[replica_id].node.process_block(
+                    block, now)
+                if root is None:
+                    root = report.state_root
+                elif report.state_root != root:  # pragma: no cover
+                    raise SimulationError(
+                        f"fleet divergence at block {block.number}: "
+                        f"replica {replica_id} root "
+                        f"{report.state_root:#x} != {root:#x}")
+                by_owner[replica_id] = {
+                    record.tx_hash: record for record in report.records}
+        finally:
+            self.block_aps = None
+        records = [by_owner[self.home_of(tx)][tx.hash]
+                   for tx in block.transactions]
+        self.shardpool.remove_all(tx.hash for tx in block.transactions)
+        self.c_blocks.inc()
+        self.c_txs.inc(len(records))
+        merged = BlockReport(block.number, root or 0, records)
+        self.reports.append(merged)
+        return merged
+
+    # -- lifecycle -------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Lifecycle heartbeat: restart due replicas, then roll the
+        crash dice for each live one (``fleet.replica_crash``)."""
+        due = [entry for entry in self.pending_restarts
+               if entry[0] <= now]
+        self.pending_restarts = [entry for entry in self.pending_restarts
+                                 if entry[0] > now]
+        for _, replica_id in sorted(due):
+            self.restart(replica_id, now)
+        if not self.injector.enabled:
+            return
+        for replica_id in self.live():
+            if len(self.live()) == 1:
+                break  # never crash the last replica
+            rule = self.injector.evaluate(
+                SITE_REPLICA_CRASH, replica=replica_id,
+                tick=int(now * 1000))
+            if rule is not None:
+                self.crash(replica_id, now)
+
+    def crash(self, replica_id: int, now: float) -> bool:
+        """Kill a replica: shard map leave, pool rebalance (handoff),
+        coordinator promotion if needed, restart scheduled."""
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.status != "up" \
+                or len(self.live()) == 1:
+            return False
+        replica.status = "down"
+        replica.crashes += 1
+        if replica.journal is not None:
+            replica.journal.close()
+            replica.journal = None
+        self.shardmap.leave(replica_id)
+        self._rebalance(now)
+        if replica_id == self.coordinator_id:
+            self.coordinator_id = self.live()[0]
+            self.c_promotions.inc()
+        self.pending_restarts.append(
+            (now + self.config.restart_delay, replica_id))
+        self.c_crashes.inc()
+        self._g_live.set(len(self.live()))
+        return True
+
+    def restart(self, replica_id: int, now: float) -> bool:
+        """Rebuild a crashed replica: genesis + shard-journal replay,
+        block catch-up from the chain store, pool resync from a peer.
+
+        The replayed world must be byte-identical — every replayed
+        block's ``state_root`` is validated inside ``process_block``,
+        and the next fleet block cross-checks all replicas again.
+        """
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.status != "down":
+            return False
+        node, registry = self._new_node()
+        node.admission = self.admission
+        replayed_to = -1
+        next_seq = 0
+        if replica.journal_path is not None \
+                and os.path.exists(replica.journal_path):
+            truncate_torn_tail(replica.journal_path)
+            scan = read_journal(replica.journal_path)
+            next_seq = scan.next_seq
+            for record in scan.records:
+                if record.type != RECORD_BLOCK:
+                    continue
+                number = int(record.data["number"])
+                stored = self.block_store.get(number)
+                if stored is None or number <= replayed_to:
+                    continue
+                block, at = stored
+                node.process_block(block, at)
+                replayed_to = number
+        # Blocks journaled to other shards while this one was down.
+        for number in sorted(self.block_store):
+            if number > replayed_to:
+                block, at = self.block_store[number]
+                node.process_block(block, at)
+                replayed_to = number
+        # Pool/heard resync from a live peer (all replicas hear all
+        # gossip, so any peer's view is the canonical one).
+        peer = self.coordinator()
+        node.pool = dict(peer.pool)
+        node.heard = dict(peer.heard)
+        node.executed = set(peer.executed)
+        node._pool_version += 1
+        replica.node = node
+        replica.registry = registry
+        replica.status = "up"
+        replica.restarts += 1
+        if replica.journal_path is not None:
+            replica.journal = JournalWriter(replica.journal_path,
+                                            next_seq=next_seq)
+        self.shardmap.join(replica_id)
+        self._rebalance(now)
+        self.c_restarts.inc()
+        self._g_live.set(len(self.live()))
+        return True
+
+    def _rebalance(self, now: float) -> None:
+        moves, torn = self.shardpool.rebalance()
+        self.c_rebalances.inc()
+        if torn:
+            self._repair_torn(torn, now)
+        del moves  # handoffs complete; counts live in fleet.pool.*
+
+    def _repair_torn(self, hashes: List[int], now: float) -> None:
+        """Restore transactions lost to a torn handoff.
+
+        Scans the per-shard journals (the durable admission records)
+        for the missing hashes; the supervisor's gossip memory is the
+        fallback for journal-less fleets.
+        """
+        todo = set(hashes)
+        entries: Dict[int, Tuple[Transaction, float]] = {}
+        if self.config.journal_dir is not None:
+            for replica in self.replicas.values():
+                path = replica.journal_path
+                if path is None or not os.path.exists(path):
+                    continue
+                if replica.journal is not None:
+                    replica.journal._handle.flush()
+                for record in read_journal(path).records:
+                    if record.type != RECORD_TX:
+                        continue
+                    tx = _tx_from_payload(record.data)
+                    if tx.hash in todo:
+                        entries[tx.hash] = (
+                            tx,
+                            float(record.clock.get("sim_seconds", now)))
+        executed = self.coordinator().executed
+        for tx_hash in sorted(todo):
+            found = entries.get(tx_hash) or self.seen.get(tx_hash)
+            if found is None or tx_hash in executed:
+                continue
+            tx, heard = found
+            self.shardpool.add(tx, heard)
+            self.c_torn_repaired.inc()
+
+    def close(self) -> None:
+        for replica in self.replicas.values():
+            if replica.journal is not None:
+                replica.journal.close()
+                replica.journal = None
+
+    # -- reporting -------------------------------------------------------
+
+    def lifecycle_report(self) -> dict:
+        return {
+            "replicas": {
+                str(rid): {
+                    "status": replica.status,
+                    "crashes": replica.crashes,
+                    "restarts": replica.restarts,
+                }
+                for rid, replica in sorted(self.replicas.items())
+            },
+            "coordinator": self.coordinator_id,
+            "generation": self.shardmap.generation,
+            "shard_sizes": {str(k): v for k, v
+                            in self.shardpool.shard_sizes().items()},
+        }

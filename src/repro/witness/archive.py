@@ -1,0 +1,179 @@
+"""Witness-stream archival compression.
+
+A verified run keeps every transaction's witness; archived cold, the
+stream dominates storage.  The archive format exploits the two big
+redundancies a per-block witness batch carries:
+
+* **shared keys** — hot accounts and slots appear in many witnesses'
+  constraint and delta rows within one block.  The batch builds one
+  sorted ``[kind, key]`` dictionary and rows reference dictionary
+  indices;
+* **shared fields** — ``v`` and ``block`` repeat per line in the JSONL
+  form; the batch hoists them into a single header.
+
+The delta-encoded batch is rendered through
+:func:`repro.obs.export.canonical_json` (so the *pre-compression*
+bytes are already canonical and byte-stable) and then deflated with
+:mod:`zlib` at maximum level.  Decoding inverts every step exactly:
+:func:`unarchive_block` returns witnesses whose
+:func:`~repro.witness.format.witness_digest` equals the originals' —
+the archival round-trip is lossless by digest, not just by eyeball.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.export import canonical_json
+
+from .format import (
+    WITNESS_VERSION,
+    ExecutionWitness,
+    witness_from_dict,
+    witness_to_dict,
+)
+
+#: Archive container version (independent of the witness version).
+ARCHIVE_VERSION = 1
+
+#: zlib level for the final deflate pass.
+COMPRESSION_LEVEL = 9
+
+
+def _batch_key_table(dicts: List[dict]) -> List[list]:
+    """The sorted ``[kind, key]`` dictionary for one block batch."""
+    keys = set()
+    for data in dicts:
+        for kind, key, _value in data["constraints"]:
+            keys.add((kind, tuple(key)))
+        for kind, key, _pre, _post in data["delta"]:
+            keys.add((kind, tuple(key)))
+    return [[kind, list(key)] for kind, key in sorted(keys)]
+
+
+def encode_block(witnesses: Iterable[ExecutionWitness]) -> bytes:
+    """Delta-encode and deflate one block's witness batch."""
+    dicts = [witness_to_dict(w) for w in witnesses]
+    if not dicts:
+        payload = canonical_json({"av": ARCHIVE_VERSION, "v": WITNESS_VERSION,
+                                  "block": None, "keys": [], "txs": []})
+        return zlib.compress(payload.encode("ascii"), COMPRESSION_LEVEL)
+    blocks = {data["block"] for data in dicts}
+    if len(blocks) != 1:
+        raise ValueError(f"one batch per block, got blocks {sorted(blocks)}")
+    table = _batch_key_table(dicts)
+    index: Dict[Tuple[str, tuple], int] = {
+        (kind, tuple(key)): i for i, (kind, key) in enumerate(table)}
+    rows = []
+    for data in dicts:
+        rows.append({
+            "tx_hash": data["tx_hash"],
+            "tier": data["tier"],
+            "outcome": data["outcome"],
+            "success": data["success"],
+            "gas_used": data["gas_used"],
+            "cost_units": data["cost_units"],
+            "constraints": [[index[(kind, tuple(key))], value]
+                            for kind, key, value in data["constraints"]],
+            "delta": [[index[(kind, tuple(key))], pre, post]
+                      for kind, key, pre, post in data["delta"]],
+            "created": data["created"],
+            "guards_checked": data["guards_checked"],
+            "logs_count": data["logs_count"],
+            "logs_sha256": data["logs_sha256"],
+            "return_sha256": data["return_sha256"],
+            "context_ids": data["context_ids"],
+        })
+    payload = canonical_json({
+        "av": ARCHIVE_VERSION,
+        "v": WITNESS_VERSION,
+        "block": dicts[0]["block"],
+        "keys": table,
+        "txs": rows,
+    })
+    return zlib.compress(payload.encode("ascii"), COMPRESSION_LEVEL)
+
+
+def unarchive_block(blob: bytes) -> List[ExecutionWitness]:
+    """Inverse of :func:`encode_block` (lossless by witness digest)."""
+    import json
+
+    batch = json.loads(zlib.decompress(blob).decode("ascii"))
+    if batch.get("av") != ARCHIVE_VERSION:
+        raise ValueError(f"unsupported archive version {batch.get('av')!r}")
+    table = batch["keys"]
+    witnesses = []
+    for row in batch["txs"]:
+        data = {
+            "v": batch["v"],
+            "block": batch["block"],
+            "tx_hash": row["tx_hash"],
+            "tier": row["tier"],
+            "outcome": row["outcome"],
+            "success": row["success"],
+            "gas_used": row["gas_used"],
+            "cost_units": row["cost_units"],
+            "constraints": [
+                [table[i][0], list(table[i][1]), value]
+                for i, value in row["constraints"]],
+            "delta": [
+                [table[i][0], list(table[i][1]), pre, post]
+                for i, pre, post in row["delta"]],
+            "created": row["created"],
+            "guards_checked": row["guards_checked"],
+            "logs_count": row["logs_count"],
+            "logs_sha256": row["logs_sha256"],
+            "return_sha256": row["return_sha256"],
+            "context_ids": row["context_ids"],
+        }
+        witnesses.append(witness_from_dict(data))
+    return witnesses
+
+
+@dataclass
+class ArchiveStats:
+    """Size accounting for one archived witness stream."""
+
+    blocks: int = 0
+    witnesses: int = 0
+    #: Canonical JSONL bytes the raw stream would occupy.
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+    blobs: List[bytes] = field(default_factory=list)
+
+    def ratio(self) -> float:
+        """Compressed fraction of the raw stream (lower is better)."""
+        if not self.raw_bytes:
+            return 1.0
+        return self.compressed_bytes / self.raw_bytes
+
+    def as_dict(self) -> dict:
+        return {
+            "blocks": self.blocks,
+            "witnesses": self.witnesses,
+            "raw_bytes": self.raw_bytes,
+            "compressed_bytes": self.compressed_bytes,
+            "ratio": round(self.ratio(), 4),
+        }
+
+
+def archive_witnesses(witnesses: Iterable[ExecutionWitness]
+                      ) -> ArchiveStats:
+    """Archive a whole run's witness stream in per-block batches."""
+    by_block: Dict[int, List[ExecutionWitness]] = {}
+    for witness in witnesses:
+        by_block.setdefault(witness.block_number, []).append(witness)
+    stats = ArchiveStats()
+    for block_number in sorted(by_block):
+        batch = by_block[block_number]
+        raw = sum(len(canonical_json(witness_to_dict(w))) + 1
+                  for w in batch)
+        blob = encode_block(batch)
+        stats.blocks += 1
+        stats.witnesses += len(batch)
+        stats.raw_bytes += raw
+        stats.compressed_bytes += len(blob)
+        stats.blobs.append(blob)
+    return stats

@@ -1,0 +1,150 @@
+"""Fleet chaos containment (``fleet.*`` fault sites).
+
+Replica crashes, torn handoffs, route flaps, and stale shard maps may
+cost latency, lose cache warmth, or change which replica serves a
+frame — they must never change the fleet's commitments.  Every test
+compares merged Merkle roots and receipt cores against the fault-free
+run; the crash tests additionally check the restarted replica's
+journal-replay convergence (the supervisor cross-checks every live
+replica's root each block and raises on divergence).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edge import ScenarioConfig, build_scenario
+from repro.fleet import (
+    SITE_HANDOFF_TORN,
+    SITE_REPLICA_CRASH,
+    SITE_ROUTE_FLAP,
+    SITE_STALE_SHARDMAP,
+    FleetConfig,
+    fleet_fault_plan,
+    fleet_replay,
+    run_fleet_serving,
+)
+from repro.p2p.latency import LatencyModel
+from repro.sim.emulator import replay
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.workloads.mixed import TrafficConfig
+
+#: Sites whose fault window only opens when membership changes — swept
+#: with the crash site as their driver.
+_DRIVEN = {SITE_HANDOFF_TORN, SITE_STALE_SHARDMAP}
+
+
+@pytest.fixture(scope="module")
+def chaos_dataset():
+    return record_dataset(DatasetConfig(
+        name="fleet-chaos",
+        traffic=TrafficConfig(duration=30.0, seed=13),
+        observers={"live": LatencyModel()}, seed=13))
+
+
+@pytest.fixture(scope="module")
+def clean_commitments(chaos_dataset):
+    run = replay(chaos_dataset, "live")
+    return [
+        (report.block_number, report.state_root,
+         tuple((r.tx_hash, r.gas_used, r.success)
+               for r in report.records))
+        for report in run.forerunner_node.reports]
+
+
+def fleet_commitments(run):
+    return [
+        (report.block_number, report.state_root,
+         tuple((r.tx_hash, r.gas_used, r.success)
+               for r in report.records))
+        for report in run.supervisor.reports]
+
+
+@pytest.mark.parametrize("site", (SITE_REPLICA_CRASH,
+                                  SITE_HANDOFF_TORN))
+def test_lifecycle_site_containment(site, chaos_dataset,
+                                    clean_commitments):
+    """Lifecycle sites fired at a hot rate through a replay:
+    commitments byte-identical to the single-node fault-free run."""
+    sites = (SITE_REPLICA_CRASH, site) if site in _DRIVEN else (site,)
+    plan = fleet_fault_plan(seed=0, probability=0.25, sites=sites)
+    run = fleet_replay(chaos_dataset, "live",
+                       FleetConfig(shards=4, fault_plan=plan))
+    assert run.supervisor.injector.fired(site) > 0, \
+        f"{site} never fired: containment test is vacuous"
+    assert run.roots_matched == run.blocks_executed
+    assert fleet_commitments(run) == clean_commitments
+
+
+@pytest.mark.parametrize("site", (SITE_ROUTE_FLAP,
+                                  SITE_STALE_SHARDMAP))
+def test_routing_site_containment(site, chaos_dataset):
+    """Routing sites fire on the serving path: misroutes and
+    stale-generation placements cost hops/latency, never commitments
+    or goodput collapse."""
+    scenario = build_scenario(chaos_dataset,
+                              ScenarioConfig(seed=0, load=2.0))
+    clean = run_fleet_serving(chaos_dataset, scenario,
+                              fleet_config=FleetConfig(shards=4))
+    sites = (SITE_REPLICA_CRASH, site) if site in _DRIVEN else (site,)
+    plan = fleet_fault_plan(seed=0, probability=0.25, sites=sites)
+    faulted = run_fleet_serving(
+        chaos_dataset, scenario,
+        fleet_config=FleetConfig(shards=4, fault_plan=plan))
+    assert faulted.supervisor.injector.fired(site) > 0, \
+        f"{site} never fired: containment test is vacuous"
+    assert faulted.commitments() == clean.commitments()
+    if site == SITE_ROUTE_FLAP:
+        assert faulted.router.c_flaps.value > 0
+        # Flapped requests paid the forwarding penalty.
+        flapped = [r for r in faulted.routes if r.hops > 1]
+        assert flapped and all(r.penalty_units > 0 for r in flapped)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_crash_restart_converges_across_seeds(seed, chaos_dataset,
+                                              clean_commitments):
+    """Seeds 0-2 of sustained crash chaos: every restarted replica
+    replays its shard journal, catches up missed blocks, and converges
+    byte-for-byte (the per-block root cross-check would raise on any
+    divergence)."""
+    plan = fleet_fault_plan(seed=seed, probability=0.3,
+                            sites=(SITE_REPLICA_CRASH,))
+    run = fleet_replay(chaos_dataset, "live",
+                       FleetConfig(shards=4, fault_plan=plan))
+    supervisor = run.supervisor
+    assert supervisor.c_crashes.value > 0
+    assert supervisor.c_restarts.value > 0
+    assert fleet_commitments(run) == clean_commitments
+
+
+def test_crash_chaos_is_deterministic(chaos_dataset):
+    """Same chaos seed, same lifecycle: crash counts, generations and
+    commitments agree between two runs."""
+    plan = fleet_fault_plan(seed=1, probability=0.3,
+                            sites=(SITE_REPLICA_CRASH,))
+    first = fleet_replay(chaos_dataset, "live",
+                         FleetConfig(shards=4, fault_plan=plan))
+    second = fleet_replay(chaos_dataset, "live",
+                          FleetConfig(shards=4, fault_plan=plan))
+    assert first.supervisor.c_crashes.value == \
+        second.supervisor.c_crashes.value
+    assert first.supervisor.shardmap.generation == \
+        second.supervisor.shardmap.generation
+    assert fleet_commitments(first) == fleet_commitments(second)
+
+
+def test_torn_handoffs_are_repaired_from_journals(chaos_dataset,
+                                                  clean_commitments):
+    """Torn handoffs (withdrawn, never delivered) are repaired from
+    the shard journals — no pending transaction is lost, and the
+    commitments still match."""
+    plan = fleet_fault_plan(seed=0, probability=0.5,
+                            sites=(SITE_REPLICA_CRASH,
+                                   SITE_HANDOFF_TORN))
+    run = fleet_replay(chaos_dataset, "live",
+                       FleetConfig(shards=4, fault_plan=plan))
+    supervisor = run.supervisor
+    assert supervisor.shardpool.c_torn.value > 0, "no handoff torn"
+    assert supervisor.c_torn_repaired.value > 0
+    assert fleet_commitments(run) == clean_commitments
