@@ -445,7 +445,102 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_net(args: argparse.Namespace) -> int:
+    """Wire-plane chaos: every ``net.*`` site at its own rate against
+    the wire-enabled fleet, with three assertions per site — the fault
+    actually fired, commitments are byte-identical to the clean wire
+    run, and two same-seed faulted runs are byte-identical to each
+    other.  The lease oracle re-verifies single-holder-per-term on
+    every run."""
+    from repro.edge import ScenarioConfig, build_scenario
+    from repro.fleet import (
+        NET_SITES,
+        FleetConfig,
+        net_fault_plan,
+        run_fleet_serving,
+    )
+    from repro.fleet.wire import WireConfig
+    from repro.obs.export import canonical_json
+    from repro.p2p.latency import LatencyModel
+    from repro.sim.recorder import DatasetConfig, record_dataset
+    from repro.workloads.mixed import TrafficConfig
+
+    config = DatasetConfig(
+        name="net-chaos",
+        traffic=TrafficConfig(duration=args.duration,
+                              seed=args.workload_seed),
+        observers={"live": LatencyModel()},
+        seed=args.workload_seed)
+    dataset = record_dataset(config)
+    scenario = build_scenario(dataset,
+                              ScenarioConfig(seed=args.seed, load=2.0))
+    shards = args.shards
+    clean = run_fleet_serving(
+        dataset, scenario,
+        fleet_config=FleetConfig(shards=shards, wire=WireConfig()),
+        observer=args.observer)
+    rate = args.rate if args.rate is not None else 1.0
+    print(f"net chaos: dataset={dataset.name} seed={args.seed} "
+          f"rate={rate} shards={shards} ({len(scenario)} requests, "
+          f"{len(dataset.blocks)} blocks)")
+    print(f"clean wire run: goodput {clean.goodput:.3f}")
+    print()
+    rows = []
+    ok = True
+    for site in NET_SITES:
+        plan = net_fault_plan(seed=args.seed, probability=rate,
+                              sites=(site,))
+
+        def run_once():
+            return run_fleet_serving(
+                dataset, scenario,
+                fleet_config=FleetConfig(shards=shards,
+                                         wire=WireConfig(),
+                                         fault_plan=plan),
+                observer=args.observer)
+
+        faulted = run_once()
+        again = run_once()
+        fired = faulted.supervisor.injector.fired(site)
+        contained = faulted.commitments() == clean.commitments()
+        deterministic = faulted.commitments() == again.commitments()
+        faulted.supervisor.lease.assert_single_holder_per_term()
+        again.supervisor.lease.assert_single_holder_per_term()
+        wire = faulted.supervisor.wire.summary()
+        site_ok = contained and deterministic and fired > 0
+        ok = ok and site_ok
+        status = "CONTAINED" if site_ok else "FAILED"
+        print(f"  {site:18s} fired={fired:5d} "
+              f"goodput={faulted.goodput:.3f} "
+              f"retries={wire['retries']:4d} "
+              f"dedup={wire['dedup_dropped']:4d} {status}")
+        rows.append({"site": site, "fired": fired,
+                     "goodput": round(faulted.goodput, 6),
+                     "contained": contained,
+                     "deterministic": deterministic,
+                     "retries": wire["retries"],
+                     "dedup_dropped": wire["dedup_dropped"],
+                     "escalations": wire["escalations"],
+                     "ok": site_ok})
+    print()
+    print("net containment: " + ("OK" if ok else "FAILED"))
+    if args.json_out:
+        payload = {"schema": 1, "dataset": dataset.name,
+                   "seed": args.seed, "rate": rate, "shards": shards,
+                   "requests": len(scenario),
+                   "clean_goodput": round(clean.goodput, 6),
+                   "clean_wire": clean.supervisor.wire.summary(),
+                   "sites": rows, "ok": ok}
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload))
+            handle.write("\n")
+        print(f"wrote net chaos report -> {args.json_out}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.net:
+        return _cmd_chaos_net(args)
     if args.fleet:
         return _cmd_chaos_fleet(args)
     if args.edge:
@@ -498,9 +593,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     """``repro serve --shards N``: the same scenario through the
-    fleet router and N per-replica edge servers (docs/FLEET.md)."""
+    fleet router and N per-replica edge servers (docs/FLEET.md).
+    ``--net-profile`` additionally runs every inter-replica
+    interaction over the deterministic wire plane."""
     from repro.edge import ScenarioConfig, build_scenario
-    from repro.fleet import FleetConfig, run_fleet_serving
+    from repro.fleet import (
+        FleetConfig,
+        net_profile_config,
+        run_fleet_serving,
+    )
     from repro.obs.export import canonical_json
     from repro.p2p.latency import LatencyModel
     from repro.sim.recorder import DatasetConfig, record_dataset
@@ -518,12 +619,19 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         ScenarioConfig(seed=args.seed, load=args.load,
                        clients=args.clients,
                        deadline_units=args.deadline_units))
+    profile = getattr(args, "net_profile", None)
+    if profile is not None:
+        fleet_config = net_profile_config(profile, shards=args.shards,
+                                          seed=args.seed)
+    else:
+        fleet_config = FleetConfig(shards=args.shards)
     result = run_fleet_serving(
-        dataset, scenario, fleet_config=FleetConfig(shards=args.shards),
+        dataset, scenario, fleet_config=fleet_config,
         observer=args.observer)
     summary = result.router.summary()
     print(f"fleet serve: dataset={dataset.name} seed={args.seed} "
-          f"shards={args.shards} load={args.load}")
+          f"shards={args.shards} load={args.load}"
+          + (f" net-profile={profile}" if profile else ""))
     print(f"  offered {result.offered} requests, goodput "
           f"{result.goodput:.3f}, {result.retries_scheduled} retries")
     print(f"  dispatched {summary['dispatched']} "
@@ -537,6 +645,14 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
     lifecycle = result.supervisor.lifecycle_report()
     print(f"  shard sizes: {lifecycle['shard_sizes']} "
           f"(coordinator {lifecycle['coordinator']})")
+    supervisor = result.supervisor
+    if supervisor.wire is not None:
+        wire = supervisor.wire.summary()
+        print(f"  wire: sent {wire['sent']}, delivered "
+              f"{wire['delivered']}, retries {wire['retries']}, "
+              f"dedup {wire['dedup_dropped']}, partitions "
+              f"{wire['partitions']}")
+        supervisor.lease.assert_single_holder_per_term()
     if args.json_out:
         payload = {"schema": 1, "dataset": dataset.name,
                    "seed": args.seed, "shards": args.shards,
@@ -545,6 +661,12 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
                    "goodput": round(result.goodput, 6),
                    "accepted_txs": result.accepted_txs,
                    "router": summary, "lifecycle": lifecycle}
+        if profile is not None:
+            payload["net_profile"] = profile
+        if supervisor.wire is not None:
+            payload["wire"] = supervisor.wire.summary()
+            payload["links"] = supervisor.wire.link_report()
+            payload["lease"] = supervisor.lease.summary()
         with open(args.json_out, "w", encoding="utf-8") as handle:
             handle.write(canonical_json(payload))
             handle.write("\n")
@@ -919,7 +1041,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "asserting fleet commitments stay "
                             "byte-identical to the fault-free run")
     chaos.add_argument("--shards", type=int, default=4,
-                       help="fleet replica count for --fleet")
+                       help="fleet replica count for --fleet / --net")
+    chaos.add_argument("--net", action="store_true",
+                       help="sweep the net.* wire-plane fault sites "
+                            "instead (docs/FLEET.md): drops, "
+                            "duplicates, reorders, delays and "
+                            "partitions at --rate (default 1.0) on "
+                            "every inter-replica link, asserting "
+                            "commitments stay byte-identical to the "
+                            "clean wire run and two same-seed runs "
+                            "byte-identical to each other")
     chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser(
@@ -958,6 +1089,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve through an N-replica fleet (shard "
                             "map routing + per-replica edge servers; "
                             "docs/FLEET.md) instead of a single node")
+    serve.add_argument("--net-profile", default=None,
+                       choices=["clean", "lossy", "partition"],
+                       help="run the fleet over the deterministic wire "
+                            "plane under the named network profile "
+                            "(requires --shards): clean framing, 1%% "
+                            "loss/duplication/reorder, or periodic "
+                            "coordinator partitions with lease "
+                            "re-election")
     serve.set_defaults(func=_cmd_serve)
 
     crash = sub.add_parser(

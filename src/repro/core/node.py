@@ -201,6 +201,37 @@ class ForerunnerConfig:
     enable_witness: bool = False
 
 
+def tx_to_wire(tx: Transaction) -> dict:
+    """The canonical wire form of a transaction: a JSON-safe mapping
+    whose canonical-JSON encoding is the byte-stable frame every
+    cross-replica message (gossip, pool sync, speculation dispatch)
+    carries.  ``tx_from_wire(tx_to_wire(tx))`` reconstructs a
+    transaction with the same hash — the round-trip invariant the
+    fleet's dispatch path asserts on every delivery."""
+    return {
+        "sender": tx.sender,
+        "to": tx.to,
+        "data": tx.data.hex(),
+        "value": tx.value,
+        "gas_price": tx.gas_price,
+        "gas_limit": tx.gas_limit,
+        "nonce": tx.nonce,
+    }
+
+
+def tx_from_wire(data: dict) -> Transaction:
+    """Decode :func:`tx_to_wire` output back into a transaction."""
+    return Transaction(
+        sender=int(data["sender"]),
+        to=None if data["to"] is None else int(data["to"]),
+        data=bytes.fromhex(data["data"]),
+        value=int(data["value"]),
+        gas_price=int(data["gas_price"]),
+        gas_limit=int(data["gas_limit"]),
+        nonce=int(data["nonce"]),
+    )
+
+
 class LocalSpecPlane:
     """Default speculation plane: every job runs on the owning node.
 
@@ -214,6 +245,12 @@ class LocalSpecPlane:
     stay with the plane's owner, AP readiness times (and with them
     every Table 2/3 number) are byte-identical however the work is
     spread.
+
+    The plane also owns the *serialize/deliver* seam: a speculation job
+    crossing a replica boundary travels as :meth:`serialize_job` output
+    and is reconstructed by :meth:`deliver_job`.  Locally both are
+    exercised too (the job round-trips through its canonical frame), so
+    a serialization bug can never hide behind single-node runs.
     """
 
     __slots__ = ("node",)
@@ -224,7 +261,24 @@ class LocalSpecPlane:
     def components(self, tx: Transaction):
         """``(speculator, sink)`` for one job: the speculator that runs
         it and the node whose bookkeeping records the outcome."""
+        # Exercise the serialize/deliver seam even though the job never
+        # leaves this process: the frame must reconstruct to the same
+        # hash, or this raises before the job runs.
+        self.deliver_job(self.serialize_job(tx))
         return self.node.speculator, self.node
+
+    def serialize_job(self, tx: Transaction) -> dict:
+        """The canonical frame payload for one speculation job."""
+        return {"hash": tx.hash, "tx": tx_to_wire(tx)}
+
+    def deliver_job(self, payload: dict) -> Transaction:
+        """Reconstruct a dispatched job, asserting hash fidelity."""
+        tx = tx_from_wire(payload["tx"])
+        if tx.hash != int(payload["hash"]):
+            raise ChainError(
+                f"speculation job frame corrupt: hash "
+                f"{int(payload['hash']):#x} decoded to {tx.hash:#x}")
+        return tx
 
     def prefetch_targets(self):
         """Nodes whose caches a drained prefetch request must warm."""

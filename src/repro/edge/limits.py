@@ -75,6 +75,10 @@ class LruMap:
             self._data.popitem(last=False)
             self.evictions += 1
 
+    def pop(self, key, default=None):
+        """Remove and return the value for ``key`` (or ``default``)."""
+        return self._data.pop(key, default)
+
     def __len__(self) -> int:
         return len(self._data)
 

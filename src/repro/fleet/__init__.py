@@ -5,34 +5,60 @@ consistent-hash shard map (:mod:`repro.fleet.shardmap`), a sharded
 nonce-aware txpool (:mod:`repro.fleet.shardpool`), a replica lifecycle
 supervisor with per-shard recovery journals
 (:mod:`repro.fleet.supervisor`), cross-shard edge routing
-(:mod:`repro.fleet.router`), and the replay/serving loops
-(:mod:`repro.fleet.serve`).  Fleet commitments are byte-identical to
-the single-node serial run at every shard count — docs/FLEET.md has
-the determinism argument.
+(:mod:`repro.fleet.router`), the replay/serving loops
+(:mod:`repro.fleet.serve`), and the deterministic wire plane
+(:mod:`repro.fleet.wire`): canonical-JSON framed, sequence-numbered
+inter-replica messaging through a seeded hostile-network simulator,
+with heartbeat failure detection and lease-based coordinator election
+(:mod:`repro.fleet.lease`).  Fleet commitments are byte-identical to
+the single-node serial run at every shard count, wire on or off —
+docs/FLEET.md has the determinism argument.
 """
 
 from .faults import (
     FLEET_SITE_KINDS,
     FLEET_SITES,
+    NET_SITE_KINDS,
+    NET_SITES,
     SITE_HANDOFF_TORN,
+    SITE_NET_DELAY,
+    SITE_NET_DROP,
+    SITE_NET_DUPLICATE,
+    SITE_NET_PARTITION,
+    SITE_NET_REORDER,
     SITE_REPLICA_CRASH,
     SITE_ROUTE_FLAP,
     SITE_STALE_SHARDMAP,
     fleet_fault_plan,
+    net_fault_plan,
 )
+from .lease import Lease, LeaseRegistry
 from .router import FleetRouter, RouteInfo
 from .serve import (
+    NET_PROFILES,
     FleetRun,
     FleetServingResult,
     fleet_replay,
+    net_profile_config,
     run_fleet_serving,
     send_storm_scenario,
 )
 from .shardmap import ShardMap, ShardMapSnapshot
 from .shardpool import ShardedTxPool
 from .supervisor import FleetConfig, FleetSupervisor
+from .wire import (
+    INGRESS,
+    Envelope,
+    FailureDetector,
+    NetworkSim,
+    WarmthTracker,
+    WireConfig,
+    WirePlane,
+)
 
 __all__ = [
+    "Envelope",
+    "FailureDetector",
     "FLEET_SITES",
     "FLEET_SITE_KINDS",
     "FleetConfig",
@@ -40,16 +66,33 @@ __all__ = [
     "FleetRun",
     "FleetServingResult",
     "FleetSupervisor",
+    "INGRESS",
+    "Lease",
+    "LeaseRegistry",
+    "NET_PROFILES",
+    "NET_SITES",
+    "NET_SITE_KINDS",
+    "NetworkSim",
     "RouteInfo",
     "ShardMap",
     "ShardMapSnapshot",
     "ShardedTxPool",
     "SITE_HANDOFF_TORN",
+    "SITE_NET_DELAY",
+    "SITE_NET_DROP",
+    "SITE_NET_DUPLICATE",
+    "SITE_NET_PARTITION",
+    "SITE_NET_REORDER",
     "SITE_REPLICA_CRASH",
     "SITE_ROUTE_FLAP",
     "SITE_STALE_SHARDMAP",
+    "WarmthTracker",
+    "WireConfig",
+    "WirePlane",
     "fleet_fault_plan",
     "fleet_replay",
+    "net_fault_plan",
+    "net_profile_config",
     "run_fleet_serving",
     "send_storm_scenario",
 ]

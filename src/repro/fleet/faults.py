@@ -38,6 +38,7 @@ from typing import Dict, Optional, Tuple
 from repro.faults.injector import (
     KIND_CRASH,
     KIND_DROP,
+    KIND_DUPLICATE,
     KIND_REORDER,
     KIND_TORN,
     FaultPlan,
@@ -58,6 +59,33 @@ FLEET_SITE_KINDS: Dict[str, str] = {
 
 FLEET_SITES: Tuple[str, ...] = tuple(FLEET_SITE_KINDS)
 
+# -- wire-plane (network) sites -------------------------------------------
+#
+# The ``net.*`` sites fire on the deterministic wire plane
+# (:mod:`repro.fleet.wire`): every framed message between replicas —
+# gossip, pool sync, speculation dispatch, AP snapshots, block commits,
+# heartbeats, lease votes — is one evaluation.  Containment contract:
+# at-least-once retry with escalation plus receiver-side sequence
+# windows turn any drop/duplicate/reorder/delay interleaving into an
+# exactly-once, order-preserving effect stream, and a partition parks
+# traffic until heal — commitments never change.
+
+SITE_NET_DROP = "net.drop"
+SITE_NET_DUPLICATE = "net.duplicate"
+SITE_NET_REORDER = "net.reorder"
+SITE_NET_DELAY = "net.delay"
+SITE_NET_PARTITION = "net.partition"
+
+NET_SITE_KINDS: Dict[str, str] = {
+    SITE_NET_DROP: KIND_DROP,
+    SITE_NET_DUPLICATE: KIND_DUPLICATE,
+    SITE_NET_REORDER: KIND_REORDER,
+    SITE_NET_DELAY: KIND_REORDER,
+    SITE_NET_PARTITION: KIND_CRASH,
+}
+
+NET_SITES: Tuple[str, ...] = tuple(NET_SITE_KINDS)
+
 #: Cost units a misrouted request pays before re-dispatch (one wasted
 #: hop to the wrong replica and back).
 ROUTE_FLAP_PENALTY_UNITS = 2_000
@@ -72,5 +100,22 @@ def fleet_fault_plan(seed: int, probability: float,
     rules = tuple(
         FaultRule(site=site, kind=FLEET_SITE_KINDS[site],
                   probability=probability)
+        for site in chosen)
+    return FaultPlan(seed=seed, rules=rules)
+
+
+def net_fault_plan(seed: int, probability: float,
+                   sites: Optional[Tuple[str, ...]] = None,
+                   magnitude: float = 0.0) -> FaultPlan:
+    """A uniform plan over the wire-plane ``net.*`` sites.
+
+    ``magnitude`` is simulated seconds for ``net.delay`` /
+    ``net.reorder`` and partition duration for ``net.partition``
+    (0 selects each site's default).
+    """
+    chosen = sites if sites is not None else NET_SITES
+    rules = tuple(
+        FaultRule(site=site, kind=NET_SITE_KINDS[site],
+                  probability=probability, magnitude=magnitude)
         for site in chosen)
     return FaultPlan(seed=seed, rules=rules)

@@ -66,6 +66,9 @@ class RouteInfo:
     penalty_units: int = 0
     stale: bool = False
     failover: bool = False
+    #: A warmth-weighted read placement moved this request off the
+    #: owner onto a warmer full replica (wire-plane fleets only).
+    warmth: bool = False
 
 
 class FleetRouter:
@@ -85,6 +88,7 @@ class FleetRouter:
         self.c_flaps = obs.counter("route_flaps")
         self.c_stale = obs.counter("stale_routes")
         self.c_failover = obs.counter("failovers")
+        self.c_warmth = obs.counter("warmth_reroutes")
 
     # -- server pool -----------------------------------------------------
 
@@ -223,6 +227,18 @@ class FleetRouter:
                     target = successor
                     info.failover = True
                     self.c_failover.inc()
+            elif supervisor.warmth is not None:
+                # Warmth-weighted read placement (wire fleets): every
+                # replica holds the full committed state, so a read may
+                # go to whichever of {owner, ring successor} published
+                # the higher cache-warmth EWMA over heartbeats, with
+                # ties broken by the lower replica id.  The choice is a
+                # pure function of the deterministic heartbeat history.
+                warmer = self._warmth_read_target(target)
+                if warmer != target:
+                    target = warmer
+                    info.warmth = True
+                    self.c_warmth.inc()
         info.replica = target
         # Deadline built before placement: penalties eat into the
         # budget, a misroute never buys more time.
@@ -240,6 +256,25 @@ class FleetRouter:
         self.c_dispatched.inc()
         return response, outcome, info
 
+    def _warmth_read_target(self, owner: int) -> int:
+        """The warmth-weighted placement for a read owned by
+        ``owner``: the warmer of the owner and its ring successor,
+        skipping down or shedding replicas; equal warmth breaks to the
+        lower replica id; no eligible candidate keeps the owner."""
+        supervisor = self.supervisor
+        candidates = [owner]
+        successor = supervisor.shardmap.successor(owner)
+        if successor is not None and successor != owner:
+            candidates.append(successor)
+        eligible = [
+            rid for rid in candidates
+            if supervisor.is_up(rid)
+            and self.server_for(rid).brownout.level < LEVEL_SHED]
+        if not eligible:
+            return owner
+        warmth = supervisor.warmth
+        return min(eligible, key=lambda rid: (-warmth.warmth(rid), rid))
+
     # -- reporting -------------------------------------------------------
 
     def summary(self) -> dict:
@@ -248,6 +283,7 @@ class FleetRouter:
             "route_flaps": self.c_flaps.value,
             "stale_routes": self.c_stale.value,
             "failovers": self.c_failover.value,
+            "warmth_reroutes": self.c_warmth.value,
             "per_replica": {
                 str(replica_id): server.summary()
                 for replica_id, server in sorted(self.servers.items())

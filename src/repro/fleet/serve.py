@@ -34,14 +34,52 @@ from repro.obs.registry import MetricsRegistry
 from repro.sim.emulator import JoinedRecord
 from repro.utils.hashing import hash_words, keccak_int
 
+from .faults import (
+    NET_SITES,
+    SITE_NET_PARTITION,
+    net_fault_plan,
+)
 from .router import FleetRouter, RouteInfo
 from .supervisor import FleetConfig, FleetSupervisor
+from .wire import WireConfig
 
 #: Event priorities, matching the emulator and the edge serving loop.
 PRIO_TX = 0
 PRIO_TICK = 1
 PRIO_BLOCK = 2
 PRIO_REQUEST = 3
+
+#: Named wire-plane network profiles for ``repro serve --net-profile``.
+NET_PROFILES = ("clean", "lossy", "partition")
+
+
+def net_profile_config(profile: str, shards: int = 4, seed: int = 0,
+                       journal_dir=None) -> FleetConfig:
+    """A :class:`FleetConfig` with the wire plane on and the named
+    hostile-network profile driving it:
+
+    * ``clean`` — wire framing/sequencing on, no faults (the profile
+      whose commitments must be byte-identical to the in-process
+      fleet);
+    * ``lossy`` — 1% drop + duplicate + reorder + delay on every link
+      (the at-least-once/exactly-once machinery under steady fire);
+    * ``partition`` — periodic coordinator isolation (lease expiry,
+      quorum re-election, journal catch-up on heal).
+    """
+    if profile not in NET_PROFILES:
+        raise ValueError(f"unknown net profile {profile!r}; "
+                         f"choose from {NET_PROFILES}")
+    plan = None
+    if profile == "lossy":
+        loss_sites = tuple(site for site in NET_SITES
+                           if site != SITE_NET_PARTITION)
+        plan = net_fault_plan(seed=seed, probability=0.01,
+                              sites=loss_sites)
+    elif profile == "partition":
+        plan = net_fault_plan(seed=seed, probability=0.25,
+                              sites=(SITE_NET_PARTITION,))
+    return FleetConfig(shards=shards, wire=WireConfig(),
+                       fault_plan=plan, journal_dir=journal_dir)
 
 
 @dataclass

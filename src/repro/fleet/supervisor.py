@@ -39,7 +39,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.chain.block import Block
 from repro.chain.transaction import Transaction
-from repro.core.node import BlockReport, ForerunnerConfig, ForerunnerNode
+from repro.core.node import (
+    BlockReport,
+    ForerunnerConfig,
+    ForerunnerNode,
+    tx_from_wire,
+    tx_to_wire,
+)
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector, NULL_INJECTOR
 from repro.obs.registry import MetricsRegistry
@@ -49,36 +55,38 @@ from repro.recovery.journal import (
     truncate_torn_tail,
 )
 
-from .faults import SITE_REPLICA_CRASH
+from .faults import SITE_NET_PARTITION, SITE_REPLICA_CRASH
+from .lease import LeaseRegistry
 from .shardmap import DEFAULT_VNODES, ShardMap
 from .shardpool import ShardedTxPool
+from .wire import (
+    INGRESS,
+    FailureDetector,
+    WarmthTracker,
+    WireConfig,
+    WirePlane,
+)
 
 RECORD_TX = "fleet.tx"
 RECORD_BLOCK = "fleet.block"
 
+#: Wire-plane channels (one sequence window per (sender, channel)).
+CH_GOSSIP = "gossip.tx"
+CH_POOL = "pool.sync"
+CH_SPEC = "spec.dispatch"
+CH_AP = "ap.snapshot"
+CH_BLOCK = "block.commit"
+CH_ROOT = "block.root"
+CH_HEARTBEAT = "net.heartbeat"
+CH_VOTE = "lease.request"
+CH_GRANT = "lease.grant"
 
-def _tx_payload(tx: Transaction) -> dict:
-    return {
-        "sender": tx.sender,
-        "to": tx.to,
-        "data": tx.data.hex(),
-        "value": tx.value,
-        "gas_price": tx.gas_price,
-        "gas_limit": tx.gas_limit,
-        "nonce": tx.nonce,
-    }
 
-
-def _tx_from_payload(data: dict) -> Transaction:
-    return Transaction(
-        sender=int(data["sender"]),
-        to=None if data["to"] is None else int(data["to"]),
-        data=bytes.fromhex(data["data"]),
-        value=int(data["value"]),
-        gas_price=int(data["gas_price"]),
-        gas_limit=int(data["gas_limit"]),
-        nonce=int(data["nonce"]),
-    )
+# The canonical transaction wire form lives with the speculation-plane
+# seam in :mod:`repro.core.node`; the fleet reuses it for every framed
+# channel that carries a transaction.
+_tx_payload = tx_to_wire
+_tx_from_payload = tx_from_wire
 
 
 @dataclass
@@ -98,6 +106,12 @@ class FleetConfig:
     #: Directory for per-shard recovery journals (``None`` = in-memory
     #: fleet: crash repair falls back to the supervisor's gossip log).
     journal_dir: Optional[str] = None
+    #: Wire plane (``None`` = PR-9 in-process calls).  When set, every
+    #: inter-replica interaction crosses :class:`repro.fleet.wire`:
+    #: framed gossip/pool-sync/dispatch/AP/block messages, heartbeat
+    #: failure detection feeding ring membership, and lease-based
+    #: coordinator election.
+    wire: Optional[WireConfig] = None
 
 
 @dataclass
@@ -112,6 +126,9 @@ class Replica:
     journal_path: Optional[str] = None
     crashes: int = 0
     restarts: int = 0
+    #: Block numbers this node object has applied (the wire plane's
+    #: idempotence guard against at-least-once ``block.commit``).
+    applied: set = field(default_factory=set)
 
 
 class FleetSpecPlane:
@@ -130,13 +147,33 @@ class FleetSpecPlane:
         self.supervisor = supervisor
 
     def components(self, tx: Transaction):
-        owner = self.supervisor.replicas[
-            self.supervisor.home_of(tx)].node
+        sup = self.supervisor
+        home = sup.home_of(tx)
+        if sup.wire is not None:
+            return sup.dispatch_speculation(tx, home)
+        owner = sup.replicas[home].node
         return owner.speculator, owner
+
+    def serialize_job(self, tx: Transaction) -> dict:
+        """Same canonical job frame the local plane produces."""
+        return {"hash": tx.hash, "tx": tx_to_wire(tx)}
+
+    def deliver_job(self, payload: dict) -> Transaction:
+        """Reconstruct a dispatched job, asserting hash fidelity."""
+        tx = tx_from_wire(payload["tx"])
+        if tx.hash != int(payload["hash"]):  # pragma: no cover
+            raise SimulationError(
+                f"spec.dispatch round-trip mismatch: "
+                f"{tx.hash:#x} != {int(payload['hash']):#x}")
+        return tx
 
     def prefetch_targets(self):
         sup = self.supervisor
-        return tuple(sup.replicas[rid].node for rid in sup.live())
+        rids = sup.live()
+        if sup.wire is not None:
+            rids = [rid for rid in rids
+                    if sup.wire.reachable(INGRESS, rid)]
+        return tuple(sup.replicas[rid].node for rid in rids)
 
     def ap_for(self, tx_hash: int):
         aps = self.supervisor.block_aps
@@ -173,6 +210,11 @@ class FleetSupervisor:
         self.c_promotions = obs.counter("promotions")
         self.c_rebalances = obs.counter("rebalances")
         self.c_torn_repaired = obs.counter("torn_repaired")
+        self.c_admission_halted = obs.counter("admission_halted")
+        self.c_elections = obs.counter("elections")
+        self.c_leases = obs.counter("leases_granted")
+        self.c_detector_leaves = obs.counter("detector_leaves")
+        self.c_detector_joins = obs.counter("detector_joins")
         self._g_live = obs.gauge("live_replicas")
         self.replicas: Dict[int, Replica] = {}
         #: Block bodies + arrival times (the chain store journals
@@ -199,6 +241,75 @@ class FleetSupervisor:
         for replica in self.replicas.values():
             replica.node.admission = self.admission
         self._g_live.set(len(self.replicas))
+        #: Last event time the supervisor saw (the wire plane's send
+        #: clock; flush micro-clocks never move it).
+        self._now = 0.0
+        self.wire: Optional[WirePlane] = None
+        self.detector: Optional[FailureDetector] = None
+        self.warmth: Optional[WarmthTracker] = None
+        self.lease: Optional[LeaseRegistry] = None
+        if self.config.wire is not None:
+            self._init_wire(self.config.wire)
+
+    def _init_wire(self, wire_config: WireConfig) -> None:
+        self.wire = WirePlane(wire_config, injector=self.injector,
+                              registry=self.registry)
+        self.wire.generation_source = lambda: self.shardmap.generation
+        self.detector = FailureDetector(wire_config.suspect_after,
+                                        members=tuple(self.replicas))
+        self.warmth = WarmthTracker(wire_config.warmth_alpha)
+        self.lease = LeaseRegistry(wire_config.lease_seconds)
+        #: (block number, replica) -> report, filled by ``block.commit``
+        #: deliveries; the merge and the heal cross-check read it.
+        self._block_reports: Dict[Tuple[int, int], BlockReport] = {}
+        #: block number -> reference root (heal catch-ups re-verify).
+        self._root_history: Dict[int, int] = {}
+        self._pending_aps: Optional[Dict[int, object]] = None
+        self._pending_block: Optional[int] = None
+        self.wire.register(INGRESS, CH_HEARTBEAT, self._on_heartbeat)
+        self.wire.register(INGRESS, CH_AP, self._on_ap_snapshot)
+        self.wire.register(INGRESS, CH_ROOT, self._on_block_root)
+        for replica_id in self.replicas:
+            self._register_replica_channels(replica_id)
+        # Bootstrap lease: term 0 is granted to the initial coordinator
+        # by every founding member at t=0 (the moment PR 9 assigned the
+        # coordinator by construction).
+        term = self.lease.open_term()
+        for member in self.shardmap.members:
+            self.lease.cast_vote(term, member, self.coordinator_id)
+            self.lease.record_grant(term, self.coordinator_id, member)
+        self.lease.grant(term, self.coordinator_id, 0.0)
+        self.c_leases.inc()
+
+    def _register_replica_channels(self, replica_id: int) -> None:
+        wire = self.wire
+
+        def on_gossip(payload, attachment, at, rid=replica_id):
+            self._on_gossip(rid, payload)
+
+        def on_pool(payload, attachment, at, rid=replica_id):
+            self._on_pool_sync(rid, payload)
+
+        def on_spec(payload, attachment, at, rid=replica_id):
+            self._on_spec_dispatch(rid, payload)
+
+        def on_block(payload, attachment, at, rid=replica_id):
+            self._on_block_commit(rid, payload, attachment, at)
+
+        def on_vote(payload, attachment, at, rid=replica_id):
+            self._on_lease_request(rid, payload, at)
+
+        def on_grant(payload, attachment, at, rid=replica_id):
+            self.lease.record_grant(int(payload["term"]),
+                                    int(payload["candidate"]),
+                                    int(payload["member"]))
+
+        wire.register(replica_id, CH_GOSSIP, on_gossip)
+        wire.register(replica_id, CH_POOL, on_pool)
+        wire.register(replica_id, CH_SPEC, on_spec)
+        wire.register(replica_id, CH_BLOCK, on_block)
+        wire.register(replica_id, CH_VOTE, on_vote)
+        wire.register(replica_id, CH_GRANT, on_grant)
 
     # -- construction ----------------------------------------------------
 
@@ -248,14 +359,239 @@ class FleetSupervisor:
         replica = self.replicas.get(replica_id)
         return replica is not None and replica.status == "up"
 
+    # -- wire-plane effects (receiver side) ------------------------------
+
+    def _on_gossip(self, replica_id: int, payload: dict) -> None:
+        """Delivered ``gossip.tx``: the replica hears the transaction
+        at its *carried* heard time (healed deliveries apply late but
+        with the original clock — byte-identical heard columns)."""
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.status != "up":
+            return  # crashed meanwhile; the restart resyncs from a peer
+        tx = _tx_from_payload(payload["tx"])
+        replica.node.on_transaction(tx, float(payload["heard"]))
+
+    def _on_pool_sync(self, replica_id: int, payload: dict) -> None:
+        """Delivered ``pool.sync``: admit to the home shard's pending
+        queue unless the chain already executed it (a heal can deliver
+        a sync for a transaction committed during the partition)."""
+        tx = _tx_from_payload(payload["tx"])
+        live = self.live()
+        peer = self.replicas[live[0]].node if live else None
+        if peer is not None and tx.hash in peer.executed:
+            return
+        self.shardpool.add(tx, float(payload["heard"]))
+
+    def _on_spec_dispatch(self, replica_id: int, payload: dict) -> None:
+        """Delivered ``spec.dispatch``: reconstruct the job through the
+        plane's deliver seam, which asserts frame fidelity per message."""
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.status != "up":
+            return
+        replica.node.spec_plane.deliver_job(payload)
+
+    def _on_block_commit(self, replica_id: int, payload: dict,
+                         attachment, at: float) -> None:
+        """Delivered ``block.commit``: execute on the replica at the
+        carried clock, once (idempotent under redelivery), and answer
+        with the state root for the fleet cross-check."""
+        replica = self.replicas.get(replica_id)
+        if replica is None or replica.status != "up":
+            return  # down replicas catch up from journals at restart
+        number = int(payload["number"])
+        if number in replica.applied:
+            return
+        block = attachment
+        if block is None:
+            stored = self.block_store.get(number)
+            if stored is None:
+                return
+            block = stored[0]
+        report = replica.node.process_block(block, float(payload["at"]))
+        replica.applied.add(number)
+        self._block_reports[(number, replica_id)] = report
+        self.wire.send(replica_id, INGRESS, CH_ROOT,
+                       {"number": number, "root": report.state_root,
+                        "replica": replica_id}, at)
+
+    def _on_block_root(self, payload: dict, attachment, at: float) -> None:
+        """Delivered ``block.root``: cross-check the replica's root
+        against the block's reference root (first answer wins; healed
+        catch-ups must re-derive the identical root)."""
+        number = int(payload["number"])
+        root = int(payload["root"])
+        expected = self._root_history.get(number)
+        if expected is None:
+            self._root_history[number] = root
+        elif root != expected:  # pragma: no cover
+            raise SimulationError(
+                f"fleet divergence at block {number}: replica "
+                f"{int(payload['replica'])} root {root:#x} != "
+                f"{expected:#x}")
+
+    def _on_ap_snapshot(self, payload: dict, attachment, at: float) -> None:
+        """Delivered ``ap.snapshot``: an owner shipped one AP for the
+        block being executed (stale snapshots for other blocks are
+        ignored — APs are pure acceleration)."""
+        if (self._pending_aps is None
+                or int(payload["block"]) != self._pending_block):
+            return
+        if attachment is not None:
+            self._pending_aps[int(payload["tx"])] = attachment
+
+    def _on_heartbeat(self, payload: dict, attachment, at: float) -> None:
+        self.detector.heard(int(payload["replica"]),
+                            float(payload["at"]),
+                            int(payload["incarnation"]))
+        self.warmth.update(int(payload["replica"]),
+                           float(payload["warmth"]))
+
+    def _on_lease_request(self, member_id: int, payload: dict,
+                          at: float) -> None:
+        """Delivered ``lease.request``: a live member casts at most one
+        vote per term; granted votes travel back over the wire."""
+        if not self.is_up(member_id):
+            return
+        term = int(payload["term"])
+        candidate = int(payload["candidate"])
+        if self.lease.cast_vote(term, member_id, candidate):
+            self.wire.send(member_id, candidate, CH_GRANT,
+                           {"term": term, "candidate": candidate,
+                            "member": member_id}, at)
+
+    # -- wire-plane senders ----------------------------------------------
+
+    def dispatch_speculation(self, tx: Transaction, home: int):
+        """Dispatch one speculation job to its owning replica over the
+        wire (synchronous RPC: send, flush to ack).  Falls back to the
+        coordinator's own speculator when the owner is down or across a
+        partition — speculation is acceleration, never correctness."""
+        replica = self.replicas.get(home)
+        coordinator = self.coordinator()
+        if (replica is None or replica.status != "up"
+                or not self.wire.reachable(self.coordinator_id, home)):
+            return coordinator.speculator, coordinator
+        if home != self.coordinator_id:
+            self.wire.send(self.coordinator_id, home, CH_SPEC,
+                           replica.node.spec_plane.serialize_job(tx),
+                           self._now)
+            self.wire.flush(self._now)
+        return replica.node.speculator, replica.node
+
+    def _warmth_sample(self, node: ForerunnerNode) -> float:
+        """The replica's cache-warmth sample carried on heartbeats:
+        combined prefix-cache + synthesis-dedup hit rate."""
+        speculator = node.speculator
+        cache = speculator.prefix_cache
+        hits = cache.c_hits.value + speculator.c_dedup_hits.value
+        misses = cache.c_misses.value + speculator.c_dedup_misses.value
+        total = hits + misses
+        return round(hits / total, 9) if total else 0.0
+
+    def _wire_tick(self, now: float) -> None:
+        """Wire-plane housekeeping on the supervisor's tick cadence:
+        heal due partitions, pump heartbeats, run the failure detector
+        (membership follows observed silence), roll the partition
+        fault, and maintain the coordinator lease."""
+        wire = self.wire
+        if wire.sim.partition_until is not None \
+                and now >= wire.sim.partition_until:
+            wire.heal(now)
+            wire.flush(now)
+        for replica_id in self.live():
+            node = self.replicas[replica_id].node
+            wire.send(replica_id, INGRESS, CH_HEARTBEAT,
+                      {"replica": replica_id, "at": now,
+                       "warmth": self._warmth_sample(node),
+                       "incarnation": self.replicas[replica_id].restarts},
+                      now, reliable=False)
+            wire.c_heartbeats.inc()
+        wire.flush(now)
+        for replica_id in self.detector.suspects(now,
+                                                 self.shardmap.members):
+            if len(self.shardmap) == 1:
+                break
+            if self.shardmap.leave(replica_id):
+                self.c_detector_leaves.inc()
+                self._rebalance(now)
+        for replica_id in self.live():
+            if replica_id in self.shardmap:
+                continue
+            silence = now - self.detector.last_seen.get(replica_id, 0.0)
+            if silence < self.config.wire.suspect_after:
+                if self.shardmap.join(replica_id):
+                    self.c_detector_joins.inc()
+                    self._rebalance(now)
+        if (self.injector.enabled and len(self.shardmap) > 1
+                and wire.sim.partition_until is None):
+            rule = self.injector.evaluate(SITE_NET_PARTITION,
+                                          tick=int(now * 1000))
+            if rule is not None:
+                seconds = (rule.magnitude
+                           or self.config.wire.partition_seconds)
+                wire.partition({self.coordinator_id}, now, seconds)
+        self._lease_tick(now)
+
+    def _campaign(self, candidate: int, now: float) -> bool:
+        """One election round: the candidate asks every ring member for
+        a vote over the wire and wins on a member majority."""
+        term = self.lease.open_term()
+        members = self.shardmap.members
+        quorum = len(members) // 2 + 1
+        self.c_elections.inc()
+        for member in members:
+            self.wire.send(candidate, member, CH_VOTE,
+                           {"term": term, "candidate": candidate}, now)
+        self.wire.flush(now)
+        if len(self.lease.tally(term, candidate)) >= quorum:
+            self.lease.grant(term, candidate, now)
+            self.c_leases.inc()
+            return True
+        return False
+
+    def _lease_tick(self, now: float) -> None:
+        holder = self.coordinator_id
+        holder_ok = (self.is_up(holder)
+                     and self.wire.reachable(holder, INGRESS))
+        if self.lease.valid(holder, now):
+            if (holder_ok and self.lease.remaining(now)
+                    <= self.config.wire.lease_renew_margin):
+                self._campaign(holder, now)
+            # A live lease is never revoked: a partitioned holder keeps
+            # authority until expiry (and halts the moment it lapses).
+            return
+        isolated = sorted(rid for rid in self.wire.isolated
+                          if self.is_up(rid))
+        if isolated:
+            # The minority side campaigns first — its requests park at
+            # the cut, so it can never assemble a quorum (the halt the
+            # partition test asserts).
+            self._campaign(isolated[0], now)
+        candidates = [rid for rid in self.live()
+                      if self.wire.reachable(rid, INGRESS)]
+        if not candidates:
+            return
+        if self._campaign(candidates[0], now):
+            if candidates[0] != self.coordinator_id:
+                self.coordinator_id = candidates[0]
+                self.c_promotions.inc()
+
     # -- gossip ----------------------------------------------------------
 
     def on_transaction(self, tx: Transaction, now: float) -> None:
         """A transaction arrived (gossip or edge accept): journal it to
         its home shard, admit it to the sharded pool, and deliver it to
         every live replica (all replicas hear all gossip — that is what
-        keeps the coordinator's candidate stream single-node-identical)."""
-        if tx.hash not in self.seen:
+        keeps the coordinator's candidate stream single-node-identical).
+
+        With the wire plane enabled, the pool sync and the first-sight
+        gossip cross the network as framed, sequenced messages instead
+        of in-process calls; a flush barrier delivers them before the
+        event loop advances, so the clean-network effect order is
+        byte-identical to the in-process fleet."""
+        self._now = now
+        first_sight = tx.hash not in self.seen
+        if first_sight:
             self.seen[tx.hash] = (tx, now)
             home = self.home_of(tx)
             journal = self.replicas[home].journal
@@ -263,9 +599,19 @@ class FleetSupervisor:
                 journal.append(RECORD_TX, _tx_payload(tx), sync=True,
                                clock={"sim_seconds": round(now, 6),
                                       "tx": tx.hash})
-            self.shardpool.add(tx, now)
+        if self.wire is None:
+            if first_sight:
+                self.shardpool.add(tx, now)
+            for replica_id in self.live():
+                self.replicas[replica_id].node.on_transaction(tx, now)
+            return
+        payload = {"tx": _tx_payload(tx), "hash": tx.hash, "heard": now}
+        if first_sight:
+            self.wire.send(INGRESS, self.home_of(tx), CH_POOL, payload,
+                           now)
         for replica_id in self.live():
-            self.replicas[replica_id].node.on_transaction(tx, now)
+            self.wire.send(INGRESS, replica_id, CH_GOSSIP, payload, now)
+        self.wire.flush(now)
 
     def requeue(self, tx: Transaction, now: float) -> None:
         """Reorg requeue: back through the owning shard's live queues,
@@ -284,7 +630,19 @@ class FleetSupervisor:
     def run_speculation(self, now: float,
                         budget_seconds: Optional[float] = None) -> int:
         """One fleet speculation cycle = the coordinator's cycle (jobs
-        land on owning replicas through the plane)."""
+        land on owning replicas through the plane).
+
+        With the wire plane enabled, admission is **lease-gated**: no
+        valid coordinator lease (expired, or the holder is down) means
+        no speculation this cycle — the safety half of the no-split-
+        brain argument.  Speculation is pure acceleration, so a halt
+        never moves commitments."""
+        self._now = now
+        if self.wire is not None:
+            if (not self.lease.valid(self.coordinator_id, now)
+                    or not self.is_up(self.coordinator_id)):
+                self.c_admission_halted.inc()
+                return 0
         return self.coordinator().run_speculation(now, budget_seconds)
 
     # -- the block pipeline ----------------------------------------------
@@ -297,6 +655,7 @@ class FleetSupervisor:
         (cross-checking that all state roots agree), and merges the
         fleet report from the owning replica of each transaction.
         """
+        self._now = now
         self.block_store[block.number] = (block, now)
         clock = {"sim_seconds": round(now, 6), "number": block.number}
         for replica_id in self.live():
@@ -305,6 +664,8 @@ class FleetSupervisor:
                 journal.append(RECORD_BLOCK,
                                {"number": block.number}, sync=True,
                                clock=clock)
+        if self.wire is not None:
+            return self._process_block_wire(block, now)
         aps: Dict[int, object] = {}
         for tx in block.transactions:
             owner = self.replicas[self.home_of(tx)].node
@@ -331,6 +692,65 @@ class FleetSupervisor:
             self.block_aps = None
         records = [by_owner[self.home_of(tx)][tx.hash]
                    for tx in block.transactions]
+        return self._finish_block(block, root, records)
+
+    def _process_block_wire(self, block: Block, now: float) -> BlockReport:
+        """The block pipeline over the wire: owners ship AP snapshots
+        to the ingress, the block commit fans out as framed messages
+        (parked across a partition — the heal replays them at their
+        carried clocks), and every root answer is cross-checked."""
+        aps: Dict[int, object] = {}
+        self._pending_aps = aps
+        self._pending_block = block.number
+        for tx in block.transactions:
+            home = self.home_of(tx)
+            for candidate in (home, self.coordinator_id):
+                replica = self.replicas.get(candidate)
+                if replica is None or replica.status != "up":
+                    continue
+                if not self.wire.reachable(candidate, INGRESS):
+                    continue
+                ap = replica.node.speculator.get_ap(tx.hash)
+                if ap is None:
+                    continue
+                self.wire.send(candidate, INGRESS, CH_AP,
+                               {"tx": tx.hash, "block": block.number},
+                               now, attachment=ap)
+                break
+        self.wire.flush(now)
+        self._pending_aps = None
+        self._pending_block = None
+        self.block_aps = aps
+        try:
+            for replica_id in self.live():
+                self.wire.send(INGRESS, replica_id, CH_BLOCK,
+                               {"number": block.number, "at": now}, now,
+                               attachment=block)
+            self.wire.flush(now)
+        finally:
+            self.block_aps = None
+        root = self._root_history.get(block.number)
+        if root is None:  # pragma: no cover
+            raise SimulationError(
+                f"no reachable replica executed block {block.number}")
+        by_owner = {
+            replica_id: {record.tx_hash: record
+                         for record in report.records}
+            for (number, replica_id), report in self._block_reports.items()
+            if number == block.number}
+        records = []
+        for tx in block.transactions:
+            source = by_owner.get(self.home_of(tx))
+            if source is None or tx.hash not in source:
+                # The owner is down or across the partition: every
+                # executing replica produced an identical record —
+                # merge from the lowest one.
+                source = by_owner[min(by_owner)]
+            records.append(source[tx.hash])
+        return self._finish_block(block, root, records)
+
+    def _finish_block(self, block: Block, root: Optional[int],
+                      records: List) -> BlockReport:
         self.shardpool.remove_all(tx.hash for tx in block.transactions)
         self.c_blocks.inc()
         self.c_txs.inc(len(records))
@@ -341,14 +761,19 @@ class FleetSupervisor:
     # -- lifecycle -------------------------------------------------------
 
     def tick(self, now: float) -> None:
-        """Lifecycle heartbeat: restart due replicas, then roll the
-        crash dice for each live one (``fleet.replica_crash``)."""
+        """Lifecycle heartbeat: restart due replicas, run the wire
+        plane's housekeeping (heartbeats, failure detection, partition
+        roll, lease maintenance), then roll the crash dice for each
+        live replica (``fleet.replica_crash``)."""
+        self._now = now
         due = [entry for entry in self.pending_restarts
                if entry[0] <= now]
         self.pending_restarts = [entry for entry in self.pending_restarts
                                  if entry[0] > now]
         for _, replica_id in sorted(due):
             self.restart(replica_id, now)
+        if self.wire is not None:
+            self._wire_tick(now)
         if not self.injector.enabled:
             return
         for replica_id in self.live():
@@ -372,11 +797,18 @@ class FleetSupervisor:
         if replica.journal is not None:
             replica.journal.close()
             replica.journal = None
-        self.shardmap.leave(replica_id)
-        self._rebalance(now)
-        if replica_id == self.coordinator_id:
-            self.coordinator_id = self.live()[0]
-            self.c_promotions.inc()
+        if self.wire is None:
+            self.shardmap.leave(replica_id)
+            self._rebalance(now)
+            if replica_id == self.coordinator_id:
+                self.coordinator_id = self.live()[0]
+                self.c_promotions.inc()
+        else:
+            # No direct membership change: the crash silences the
+            # replica's heartbeats, the failure detector observes the
+            # silence and drives the ring leave, and the lease protocol
+            # elects a successor coordinator once the lease lapses.
+            self.wire.reset_peer(replica_id)
         self.pending_restarts.append(
             (now + self.config.restart_delay, replica_id))
         self.c_crashes.inc()
@@ -396,6 +828,7 @@ class FleetSupervisor:
             return False
         node, registry = self._new_node()
         node.admission = self.admission
+        applied = set()
         replayed_to = -1
         next_seq = 0
         if replica.journal_path is not None \
@@ -412,16 +845,23 @@ class FleetSupervisor:
                     continue
                 block, at = stored
                 node.process_block(block, at)
+                applied.add(number)
                 replayed_to = number
         # Blocks journaled to other shards while this one was down.
         for number in sorted(self.block_store):
             if number > replayed_to:
                 block, at = self.block_store[number]
                 node.process_block(block, at)
+                applied.add(number)
                 replayed_to = number
         # Pool/heard resync from a live peer (all replicas hear all
-        # gossip, so any peer's view is the canonical one).
-        peer = self.coordinator()
+        # gossip, so any peer's view is the canonical one; with the
+        # wire plane the coordinator may itself be down mid-election,
+        # so fall back to the lowest live replica).
+        if self.wire is None or self.is_up(self.coordinator_id):
+            peer = self.coordinator()
+        else:
+            peer = self.replicas[self.live()[0]].node
         node.pool = dict(peer.pool)
         node.heard = dict(peer.heard)
         node.executed = set(peer.executed)
@@ -430,11 +870,15 @@ class FleetSupervisor:
         replica.registry = registry
         replica.status = "up"
         replica.restarts += 1
+        replica.applied = applied
         if replica.journal_path is not None:
             replica.journal = JournalWriter(replica.journal_path,
                                             next_seq=next_seq)
-        self.shardmap.join(replica_id)
-        self._rebalance(now)
+        if self.wire is None:
+            self.shardmap.join(replica_id)
+            self._rebalance(now)
+        # With the wire plane the restarted replica rejoins the ring
+        # when its first heartbeat reaches the failure detector.
         self.c_restarts.inc()
         self._g_live.set(len(self.live()))
         return True
@@ -480,6 +924,12 @@ class FleetSupervisor:
             self.c_torn_repaired.inc()
 
     def close(self) -> None:
+        if self.wire is not None:
+            # Final settle: heal any open partition and drain the wire
+            # so no reliable message is left undelivered at shutdown.
+            if self.wire.sim.isolated or self.wire.sim._parked:
+                self.wire.heal(self._now)
+            self.wire.flush(self._now)
         for replica in self.replicas.values():
             if replica.journal is not None:
                 replica.journal.close()
@@ -488,7 +938,7 @@ class FleetSupervisor:
     # -- reporting -------------------------------------------------------
 
     def lifecycle_report(self) -> dict:
-        return {
+        report = {
             "replicas": {
                 str(rid): {
                     "status": replica.status,
@@ -502,3 +952,8 @@ class FleetSupervisor:
             "shard_sizes": {str(k): v for k, v
                             in self.shardpool.shard_sizes().items()},
         }
+        if self.wire is not None:
+            report["wire"] = self.wire.summary()
+            report["lease"] = self.lease.summary()
+            report["warmth"] = self.warmth.snapshot()
+        return report

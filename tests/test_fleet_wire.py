@@ -1,0 +1,294 @@
+"""Wire-plane integration: the tentpole's acceptance criteria.
+
+* **Clean equivalence** — with the wire plane on (every inter-replica
+  interaction framed, sequenced, and flushed through the network
+  simulator) but no faults, fleet commitments and every joined-record
+  column are byte-identical to the in-process fleet at shards
+  1/2/4/8 — which PR 9 proved byte-identical to the single node.
+* **Chaos containment** — ``net.drop`` / ``net.duplicate`` /
+  ``net.reorder`` / ``net.delay`` / ``net.partition`` at 1%, 5% and
+  100% (seeds 0-2) leave chain commitments (roots + receipts)
+  byte-identical to the clean wire run, and two same-seed faulted runs
+  are byte-identical to each other down to every speculation-quality
+  column.  Faults may degrade speculation accuracy (a dropped AP
+  snapshot means an older prediction context) — that is the paper's
+  contract: speculation quality is best-effort, commitments are not.
+* **Partition safety** — isolating the coordinator expires its lease,
+  a quorum-side replica is promoted through a voted election, the
+  minority assembles no quorum, and the heal replays parked traffic to
+  byte-identical state; the lease oracle re-verifies at most one
+  holder per term over the whole trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.fleet import (
+    NET_SITES,
+    SITE_NET_PARTITION,
+    FleetConfig,
+    WireConfig,
+    fleet_replay,
+    net_fault_plan,
+)
+from repro.obs.export import canonical_json
+from repro.p2p.latency import LatencyModel
+from repro.sim.recorder import DatasetConfig, record_dataset
+from repro.workloads.mixed import TrafficConfig
+
+SHARD_COUNTS = (1, 2, 4, 8)
+LOSS_SITES = tuple(site for site in NET_SITES
+                   if site != SITE_NET_PARTITION)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return record_dataset(DatasetConfig(
+        name="wire-fleet",
+        traffic=TrafficConfig(duration=8.0, seed=13),
+        observers={"live": LatencyModel()},
+        seed=13))
+
+
+@pytest.fixture(scope="module")
+def clean_wire_run(dataset):
+    return fleet_replay(dataset, config=FleetConfig(
+        shards=4, wire=WireConfig()))
+
+
+def commitment_digest(run) -> str:
+    """SHA-256 over merged roots + receipt cores + every joined-record
+    column (the same anchor ``tests/test_fleet_equivalence.py`` uses)."""
+    payload = {
+        "blocks": [
+            {"number": report.block_number,
+             "root": f"{report.state_root:#x}",
+             "receipts": [(f"{r.tx_hash:#x}", r.gas_used, r.success)
+                          for r in report.records]}
+            for report in run.supervisor.reports],
+        "records": [canonical_json(dataclasses.asdict(record))
+                    for record in run.records],
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def chain_digest(run) -> str:
+    """SHA-256 over chain commitments only (roots + receipt cores) —
+    the containment anchor.  Network faults may legitimately shift
+    speculation-quality columns (an AP snapshot delayed past a block
+    boundary yields an older prediction context); they must never move
+    what the chain committed."""
+    payload = [
+        {"number": report.block_number,
+         "root": f"{report.state_root:#x}",
+         "receipts": [(f"{r.tx_hash:#x}", r.gas_used, r.success)
+                      for r in report.records]}
+        for report in run.supervisor.reports]
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# -- clean equivalence ----------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_wire_clean_network_byte_identical(dataset, shards):
+    """Framing + sequencing + flush barriers on a clean network change
+    nothing: wire-on == wire-off (== single node, by PR 9's proof) at
+    every shard count, down to every Table 2/3 column."""
+    off = fleet_replay(dataset, config=FleetConfig(shards=shards))
+    on = fleet_replay(dataset, config=FleetConfig(
+        shards=shards, wire=WireConfig()))
+    assert commitment_digest(on) == commitment_digest(off)
+    assert on.speculation_jobs == off.speculation_jobs
+    # Every block's merged root also matched the baseline node.
+    assert on.roots_matched == on.blocks_executed
+
+
+def test_wire_actually_carries_the_traffic(clean_wire_run):
+    """Anti-vacuity: the clean run really crossed the wire — framed
+    sends, deliveries, acks, heartbeats — and the bootstrap lease held
+    (admission was never halted on a clean network)."""
+    supervisor = clean_wire_run.supervisor
+    wire = supervisor.wire.summary()
+    assert wire["sent"] > 0
+    assert wire["delivered"] > 0
+    assert wire["acks"] > 0
+    assert supervisor.wire.c_heartbeats.value > 0
+    assert wire["retries"] == 0
+    assert supervisor.c_admission_halted.value == 0
+    assert supervisor.lease.current is not None
+    supervisor.lease.assert_single_holder_per_term()
+
+
+# -- chaos containment ----------------------------------------------------
+
+
+@pytest.mark.parametrize("site", NET_SITES)
+def test_net_site_containment_at_full_rate(dataset, clean_wire_run,
+                                           site):
+    """Every ``net.*`` site at p=1.0: the fault fires constantly and
+    chain commitments stay byte-identical to the clean wire run."""
+    plan = net_fault_plan(seed=0, probability=1.0, sites=(site,))
+    run = fleet_replay(dataset, config=FleetConfig(
+        shards=4, wire=WireConfig(), fault_plan=plan))
+    assert run.supervisor.injector.fired(site) > 0
+    assert chain_digest(run) == chain_digest(clean_wire_run)
+    run.supervisor.lease.assert_single_holder_per_term()
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+@pytest.mark.parametrize("probability", (0.01, 0.05))
+def test_loss_rates_converge_and_are_deterministic(dataset,
+                                                   clean_wire_run,
+                                                   probability, seed):
+    """Drop+duplicate+reorder+delay together at 1% and 5% (seeds 0-2):
+    chain commitments byte-identical to clean, and two same-seed runs
+    byte-identical to each other down to every record column."""
+    plan = net_fault_plan(seed=seed, probability=probability,
+                          sites=LOSS_SITES)
+    config = FleetConfig(shards=4, wire=WireConfig(), fault_plan=plan)
+    first = fleet_replay(dataset, config=config)
+    again = fleet_replay(dataset, config=config)
+    fired = sum(first.supervisor.injector.fired(site)
+                for site in LOSS_SITES)
+    assert fired > 0
+    assert chain_digest(first) == chain_digest(clean_wire_run)
+    assert commitment_digest(first) == commitment_digest(again)
+
+
+# -- partition / lease election -------------------------------------------
+
+
+def test_partition_elects_quorum_side_and_heals(dataset,
+                                                clean_wire_run):
+    """Repeated coordinator isolation under chaos: leases lapse,
+    quorum-side replicas win voted elections (promotions), minority
+    campaigns fail, heals replay parked traffic — and the committed
+    chain never moves."""
+    plan = net_fault_plan(seed=1, probability=1.0,
+                          sites=(SITE_NET_PARTITION,))
+    run = fleet_replay(dataset, config=FleetConfig(
+        shards=4, wire=WireConfig(), fault_plan=plan))
+    supervisor = run.supervisor
+    assert supervisor.wire.sim.partitions > 0
+    assert supervisor.wire.sim.heals > 0
+    assert supervisor.c_promotions.value > 0
+    # More elections than grants: the doomed minority campaigns.
+    assert supervisor.lease.elections > len(supervisor.lease.history)
+    assert chain_digest(run) == chain_digest(clean_wire_run)
+    supervisor.lease.assert_single_holder_per_term()
+
+
+def test_partitioned_coordinator_halts_and_minority_has_no_quorum(
+        dataset):
+    """Direct drive of the ISSUE's partition scenario: isolate the
+    coordinator, let its lease lapse — admission halts; the minority
+    campaign assembles no quorum while the majority promotes; the heal
+    re-joins the replica through the failure detector."""
+    from repro.fleet import FleetSupervisor
+
+    supervisor = FleetSupervisor(dataset.genesis_world,
+                                 dataset.genesis_block,
+                                 FleetConfig(shards=4,
+                                             wire=WireConfig()))
+    old = supervisor.coordinator_id
+    supervisor.wire.partition({old}, now=0.0, seconds=100.0)
+    # Lease (granted at t=0, 6s) has lapsed by t=7; no tick has run an
+    # election yet, so admission is gated shut.
+    assert supervisor.run_speculation(7.0) == 0
+    assert supervisor.c_admission_halted.value == 1
+    # The tick pumps heartbeats (the coordinator's parks at the cut),
+    # detects its silence, and elects a quorum-side successor.
+    supervisor.tick(7.0)
+    assert supervisor.coordinator_id != old
+    assert supervisor.c_promotions.value == 1
+    assert supervisor.c_detector_leaves.value == 1
+    assert old not in supervisor.shardmap
+    # The minority candidate opened a term but won nothing: strictly
+    # more elections than granted leases.
+    lease = supervisor.lease
+    assert lease.elections > len(lease.history)
+    assert lease.current.holder == supervisor.coordinator_id
+    # Admission flows again under the new lease.
+    assert supervisor.lease.valid(supervisor.coordinator_id, 7.5)
+    # Heal: the ex-coordinator's next heartbeat re-joins the ring.
+    supervisor.wire.heal(8.0)
+    supervisor.tick(8.0)
+    assert old in supervisor.shardmap
+    assert supervisor.c_detector_joins.value == 1
+    lease.assert_single_holder_per_term()
+    supervisor.close()
+
+
+def test_crash_membership_flows_through_detector(dataset):
+    """With the wire on, a crash changes no membership directly: the
+    ring leave waits for observed heartbeat silence, and the restart
+    re-joins via a fresh-incarnation heartbeat."""
+    from repro.fleet import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        dataset.genesis_world, dataset.genesis_block,
+        FleetConfig(shards=4, wire=WireConfig(), restart_delay=10.0))
+    supervisor.tick(2.0)  # heartbeats prime the detector
+    victim = 2
+    generation = supervisor.shardmap.generation
+    assert supervisor.crash(victim, 2.5)
+    # Still a ring member: no heartbeat silence observed yet.
+    assert victim in supervisor.shardmap
+    assert supervisor.shardmap.generation == generation
+    supervisor.tick(4.0)  # silence 2s < suspect_after
+    assert victim in supervisor.shardmap
+    supervisor.tick(8.0)  # silence 6s >= 5s: detector drives the leave
+    assert victim not in supervisor.shardmap
+    assert supervisor.c_detector_leaves.value == 1
+    supervisor.tick(13.0)  # restart due at 12.5; fresh incarnation
+    assert supervisor.is_up(victim)
+    assert victim in supervisor.shardmap
+    assert supervisor.c_detector_joins.value == 1
+    supervisor.close()
+
+
+# -- warmth-weighted read placement ---------------------------------------
+
+
+def test_warmth_weighted_read_placement(dataset):
+    """A measurably warmer ring successor attracts reads; ties keep
+    the deterministic lower-id choice."""
+    from repro.edge.server import EdgeConfig
+    from repro.fleet import FleetRouter, FleetSupervisor
+
+    supervisor = FleetSupervisor(dataset.genesis_world,
+                                 dataset.genesis_block,
+                                 FleetConfig(shards=4,
+                                             wire=WireConfig()))
+    router = FleetRouter(supervisor, EdgeConfig())
+    raw = ('{"jsonrpc": "2.0", "id": "r1", "method": "eth_call", '
+           '"params": [{"to": "0x1234"}]}')
+    key = router._routing_key(raw)
+    owner, kind = router._resolve(key)
+    assert kind == "read"
+    successor = supervisor.shardmap.successor(owner)
+    # Cold start: both warmths are 0.0 — the lower replica id wins.
+    expected_cold = min(owner, successor)
+    assert router._warmth_read_target(owner) == expected_cold
+    # Make the successor measurably warmer: reads move to it.
+    supervisor.warmth.update(successor, 0.9)
+    supervisor.warmth.update(owner, 0.1)
+    assert router._warmth_read_target(owner) == successor
+    _, _, route = router.dispatch(raw, client_id=0, now=1.0)
+    assert route.replica == successor
+    assert route.warmth == (successor != owner)
+    assert router.c_warmth.value == (1 if successor != owner else 0)
+    # Swing warmth back (EWMA, so it takes a few samples each way):
+    # the owner reclaims its reads.
+    for _ in range(3):
+        supervisor.warmth.update(owner, 1.0)
+        supervisor.warmth.update(successor, 0.0)
+    assert router._warmth_read_target(owner) == owner
+    supervisor.close()

@@ -1,0 +1,175 @@
+"""Property-based wire-plane validation (hypothesis).
+
+Two universally-quantified claims behind the tentpole:
+
+* **Exactly-once, order-preserving delivery** — for ANY seeded
+  hostile-network plan (drop/duplicate/reorder at any rates) and ANY
+  interleaving of sends with flush barriers, every (sender, channel)
+  stream is delivered to its receiver exactly once, in send order,
+  with no retry state left behind.
+* **Lease safety** — for ANY sequence of vote/tally/grant operations
+  that respects the protocol (grant only on a quorum tally), the
+  registry never records two holders for one term.  The one-vote
+  ledger makes a second majority impossible by intersection; the
+  property test drives randomized elections to hunt for a
+  counterexample.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.fleet.faults import (
+    SITE_NET_DELAY,
+    SITE_NET_DROP,
+    SITE_NET_DUPLICATE,
+    SITE_NET_REORDER,
+    net_fault_plan,
+)
+from repro.fleet.lease import LeaseRegistry
+from repro.fleet.wire import WireConfig, WirePlane
+from repro.obs.registry import MetricsRegistry
+
+LOSS_SITES = (SITE_NET_DROP, SITE_NET_DUPLICATE, SITE_NET_REORDER,
+              SITE_NET_DELAY)
+
+
+@st.composite
+def hostile_plans(draw):
+    """A seeded fault plan over a random subset of the loss sites at a
+    random rate — from pristine to total loss."""
+    sites = tuple(draw(st.sets(st.sampled_from(LOSS_SITES), min_size=1)))
+    probability = draw(st.sampled_from((0.05, 0.25, 0.5, 1.0)))
+    seed = draw(st.integers(0, 2**16))
+    return net_fault_plan(seed=seed, probability=probability,
+                          sites=sorted(sites))
+
+
+@st.composite
+def send_scripts(draw):
+    """A random interleaving of sends across 2 senders x 2 channels,
+    with flush barriers sprinkled between them."""
+    ops = []
+    for _ in range(draw(st.integers(1, 60))):
+        if draw(st.integers(0, 4)) == 0:
+            ops.append(("flush",))
+        else:
+            ops.append(("send", draw(st.integers(0, 1)),
+                        draw(st.sampled_from(("a", "b")))))
+    return ops
+
+
+@given(plan=hostile_plans(), script=send_scripts())
+@settings(max_examples=60, deadline=None)
+def test_exactly_once_order_preserving(plan, script):
+    plane = WirePlane(WireConfig(inflight_capacity=128,
+                                 holdback_capacity=32),
+                      injector=FaultInjector(plan,
+                                             registry=MetricsRegistry()),
+                      registry=MetricsRegistry())
+    effects = {}
+
+    def receiver(src, channel):
+        effects[(src, channel)] = bucket = []
+
+        def handler(payload, attachment, at):
+            bucket.append(payload["n"])
+
+        return handler
+
+    for src in (0, 1):
+        for channel in ("a", "b"):
+            plane.register(9, channel + str(src), receiver(src, channel))
+
+    sent = {(src, ch): [] for src in (0, 1) for ch in ("a", "b")}
+    now = 0.0
+    serial = 0
+    for op in script:
+        now += 0.1
+        if op[0] == "flush":
+            plane.flush(now)
+            continue
+        _, src, channel = op
+        plane.send(src, 9, channel + str(src), {"n": serial}, now=now)
+        sent[(src, channel)].append(serial)
+        serial += 1
+    plane.flush(now + 1.0)
+
+    for key, expected in sent.items():
+        assert effects[key] == expected
+    assert len(plane._inflight) == 0
+    summary = plane.summary()
+    assert summary["effects"] == serial
+
+
+@st.composite
+def elections(draw):
+    """A randomized multi-term election: per term, members vote for
+    candidates chosen by a (possibly conflicting) preference draw."""
+    members = tuple(range(draw(st.integers(2, 7))))
+    terms = []
+    for _ in range(draw(st.integers(1, 6))):
+        # Each member independently picks a candidate — adversarial
+        # schedules where votes split across many candidates included.
+        terms.append([(member, draw(st.sampled_from(members)))
+                      for member in members])
+    return members, terms
+
+
+@given(election=elections())
+@settings(max_examples=100, deadline=None)
+def test_lease_single_holder_per_term(election):
+    members, terms = election
+    quorum = len(members) // 2 + 1
+    lease = LeaseRegistry(lease_seconds=6.0)
+    now = 0.0
+    for ballots in terms:
+        term = lease.open_term()
+        tally = {}
+        for member, candidate in ballots:
+            if lease.cast_vote(term, member, candidate):
+                lease.record_grant(term, candidate, member)
+                tally[candidate] = tally.get(candidate, 0) + 1
+        # Every candidate that believes it won claims the lease; at
+        # most one can have a real quorum, and the registry must
+        # reject any impostor.
+        winners = [c for c in sorted(tally) if tally[c] >= quorum]
+        assert len(winners) <= 1
+        for candidate in sorted(tally):
+            if len(lease.tally(term, candidate)) >= quorum:
+                lease.grant(term, candidate, now)
+        now += 1.0
+    lease.assert_single_holder_per_term()
+    # At most one lease per term ever granted.
+    assert len(lease.leases) == len(
+        {grant.term for grant in lease.history})
+
+
+@given(election=elections(), forged=st.integers(0, 6))
+@settings(max_examples=60, deadline=None)
+def test_lease_rejects_grant_without_quorum_intersection(election,
+                                                         forged):
+    """A candidate that claims a term some other candidate already won
+    is always rejected — even when its (minority) tally is non-zero."""
+    members, terms = election
+    quorum = len(members) // 2 + 1
+    lease = LeaseRegistry(lease_seconds=6.0)
+    for ballots in terms:
+        term = lease.open_term()
+        for member, candidate in ballots:
+            if lease.cast_vote(term, member, candidate):
+                lease.record_grant(term, candidate, member)
+        granted = None
+        for candidate in sorted(set(c for _, c in ballots)):
+            if len(lease.tally(term, candidate)) >= quorum:
+                lease.grant(term, candidate, 0.0)
+                granted = candidate
+                break
+        if granted is not None and forged % len(members) != granted:
+            with pytest.raises(SimulationError):
+                lease.grant(term, forged % len(members), 0.0)
+    lease.assert_single_holder_per_term()
